@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``benchmarks/test_*.py`` regenerates one of the paper's tables or
+figures; run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+rendered reports.  Heavy experiments execute once (``pedantic`` with a
+single round) — the timing is informative, the printed table is the
+deliverable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,108 @@
+"""Ablation and throughput benchmarks beyond the paper's tables.
+
+Covers the design choices DESIGN.md calls out:
+
+* simulator throughput (the training pipeline's cost driver),
+* kernel execution rates on the structural proxies,
+* hill-climb vs exhaustive tuning quality (the OpenTuner substitution),
+* CART learned tree vs the hand-built analytical tree (the paper's
+  "other thresholds may also work" future-work question).
+"""
+
+import numpy as np
+
+from repro.accel.simulator import simulate
+from repro.core.heteromap import HeteroMap
+from repro.experiments.common import (
+    cached_training_database,
+    geomean,
+)
+from repro.kernels import get_kernel
+from repro.machine.mvars import default_config
+from repro.machine.specs import get_accelerator
+from repro.runtime.deploy import prepare_workload
+from repro.tuning import best_on_accelerator, hill_climb
+
+
+def test_simulator_throughput(benchmark):
+    """One cost-model evaluation: the unit of all tuning sweeps."""
+    workload = prepare_workload("sssp_bf", "facebook")
+    spec = get_accelerator("xeonphi7120p")
+    config = default_config(spec)
+    result = benchmark(simulate, workload.profile, spec, config)
+    assert result.time_s > 0
+
+
+def test_kernel_throughput_bfs(benchmark):
+    """BFS on the Facebook proxy (real kernel execution)."""
+    from repro.graph.datasets import load_proxy_graph
+
+    graph = load_proxy_graph("facebook")
+    kernel = get_kernel("bfs")
+    result = benchmark.pedantic(
+        kernel.run, args=(graph,), rounds=3, iterations=1
+    )
+    assert result.stats["reached"] > 0
+
+
+def test_kernel_throughput_pagerank(benchmark):
+    from repro.graph.datasets import load_proxy_graph
+
+    graph = load_proxy_graph("cage14")
+    kernel = get_kernel("pagerank")
+    result = benchmark.pedantic(
+        kernel.run, args=(graph,), rounds=3, iterations=1
+    )
+    assert abs(result.stats["sum"] - 1.0) < 1e-6
+
+
+def test_ablation_hill_climb_vs_exhaustive(benchmark, once):
+    """The OpenTuner-style search should approach the lattice optimum at
+    a fraction of the evaluations."""
+
+    def compare():
+        gaps = []
+        spec = get_accelerator("xeonphi7120p")
+        for bench, dataset in [
+            ("sssp_delta", "usa-cal"),
+            ("pagerank", "facebook"),
+            ("triangle_counting", "livejournal"),
+        ]:
+            profile = prepare_workload(bench, dataset).profile
+            exact = best_on_accelerator(profile, spec).time_s
+            climbed = hill_climb(
+                profile, spec, restarts=6, max_steps=60, seed=0
+            ).time_s
+            gaps.append(climbed / exact)
+        return gaps
+
+    gaps = once(benchmark, compare)
+    print(f"\nhill-climb vs exhaustive gaps: {[f'{g:.2f}x' for g in gaps]}")
+    assert geomean(gaps) < 1.5
+
+
+def test_ablation_cart_vs_analytical_tree(benchmark, once):
+    """Learned thresholds (CART) vs the hand-built Section IV tree —
+    the threshold-tuning future work the paper mentions."""
+
+    def compare():
+        database = cached_training_database(num_samples=60, seed=11)
+        results = {}
+        for name in ("decision_tree", "cart"):
+            hetero = HeteroMap(predictor=name, seed=11)
+            hetero.train(database=database)
+            times = []
+            for bench in ("sssp_bf", "sssp_delta", "pagerank"):
+                for dataset in ("usa-cal", "cage14", "twitter"):
+                    workload = prepare_workload(bench, dataset)
+                    times.append(
+                        hetero.run_workload(workload).completion_time_ms
+                    )
+            results[name] = geomean(times)
+        return results
+
+    results = once(benchmark, compare)
+    print(f"\ngeomean completion (ms): {results}")
+    # Learned thresholds should not be dramatically worse than the
+    # hand-built tree on the same grid.
+    assert results["cart"] < results["decision_tree"] * 2.5

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 1 (SSSP thread sweeps)."""
+
+from repro.experiments import fig01_thread_sweep
+
+
+def test_fig01_thread_sweep(benchmark, once):
+    result = once(benchmark, fig01_thread_sweep.run_experiment)
+    print("\n" + fig01_thread_sweep.render(result))
+    # Paper shape: multicore dominates the sparse road network for
+    # Δ-stepping; the GPU takes the dense input for the data-parallel
+    # formulation and prefers intermediate threading there.
+    delta_phi = result.curve("usa-cal", "xeonphi7120p", "sssp_delta")
+    delta_gpu = result.curve("usa-cal", "gtx750ti", "sssp_delta")
+    assert delta_phi.best_time_ms < delta_gpu.best_time_ms / 2
+    bf_gpu = result.curve("cage14", "gtx750ti", "sssp_bf")
+    bf_phi = result.curve("cage14", "xeonphi7120p", "sssp_bf")
+    assert bf_gpu.best_time_ms < bf_phi.best_time_ms
+    assert result.curve("cage14", "gtx750ti", "sssp_delta").best_fraction < 1.0

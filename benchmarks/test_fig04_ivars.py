@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 4 / Table I (I variables)."""
+
+from repro.experiments import fig04_ivars
+
+
+def test_fig04_ivars(benchmark, once):
+    rows = once(benchmark, fig04_ivars.run_experiment)
+    print("\n" + fig04_ivars.render(rows))
+    by_name = {row.dataset: row.ivars.as_dict() for row in rows}
+    for dataset, anchors in fig04_ivars.PAPER_ANCHORS.items():
+        for label, expected in anchors.items():
+            assert abs(by_name[dataset][label] - expected) < 1e-9

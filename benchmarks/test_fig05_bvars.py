@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figures 5 and 6 (B variables)."""
+
+from repro.experiments import fig05_bvars
+
+
+def test_fig05_bvars(benchmark, once):
+    profiles = once(benchmark, fig05_bvars.run_experiment)
+    print("\n" + fig05_bvars.render(profiles))
+    marks = fig05_bvars.checkmark_matrix(profiles)
+    assert marks["bfs"][0] == "B3"  # BFS uses only pareto division
+    assert "B8" in marks["dfs"] and "B8" in marks["connected_components"]
+    assert profiles["sssp_bf"].b7 == 0.8  # Figure 6's exact value

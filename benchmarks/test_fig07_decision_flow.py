@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 7 (decision-tree flow, optimality gap)."""
+
+from repro.experiments import fig07_decision_flow
+
+
+def test_fig07_decision_flow(benchmark, once):
+    rows = once(benchmark, fig07_decision_flow.run_experiment)
+    print("\n" + fig07_decision_flow.render(rows))
+    assert rows[0].chosen_accelerator == "gtx750ti"  # SSSP-BF -> GPU
+    assert rows[1].chosen_accelerator == "xeonphi7120p"  # Delta -> Phi
+    # Paper: the heuristic lands ~15% from the swept optimum.
+    for row in rows:
+        assert row.gap_percent < 40.0

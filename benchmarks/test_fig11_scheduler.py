@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 11 (scheduler comparison grid)."""
+
+from repro.experiments import fig11_scheduler
+
+
+def test_fig11_scheduler(benchmark, once):
+    result = once(benchmark, fig11_scheduler.run_experiment)
+    print("\n" + fig11_scheduler.render(result))
+    # Paper headlines: 31% better than GPU-only, 75% better than
+    # Phi-only, within ~10% of the ideal.  Shapes to hold: positive
+    # gains over both single-accelerator setups, modest ideal gap.
+    assert result.geomean_gain_over_gpu() > 1.05
+    assert result.geomean_gain_over_multicore() > 1.1
+    assert result.geomean_gap_to_ideal() < 1.6
+    # GPU-biased and multicore-biased combinations both exist.
+    chosen = {cell.chosen_accelerator for cell in result.cells}
+    assert len(chosen) == 2

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 12 (energy benefits)."""
+
+from repro.experiments import fig12_energy
+
+
+def test_fig12_energy(benchmark, once):
+    result = once(benchmark, fig12_energy.run_experiment)
+    print("\n" + fig12_energy.render(result))
+    # Paper: the Phi dissipates more energy on most benchmarks, and
+    # HeteroMap's energy-trained scheduler delivers a ~2.4x benefit over
+    # a single-accelerator deployment, close to ideal.
+    phi_worse = sum(
+        1 for row in result.rows if row.multicore_only > row.gpu_only
+    )
+    assert phi_worse >= len(result.rows) / 2
+    assert result.benefit_over_single() > 1.2
+    for row in result.rows:
+        assert row.ideal <= row.heteromap + 1e-9

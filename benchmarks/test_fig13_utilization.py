@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 13 (core utilization)."""
+
+from repro.experiments import fig13_utilization
+
+
+def test_fig13_utilization(benchmark, once):
+    result = once(benchmark, fig13_utilization.run_experiment)
+    print("\n" + fig13_utilization.render(result))
+    rows = {row.benchmark: row for row in result.rows}
+    # GPUs hide memory latency by thread switching where the multicore
+    # stalls — visible on the FP-heavy benchmarks whose Phi deployments
+    # are memory/FPU-stalled.  (On SSSP our simulator shows the inverse
+    # of the paper's direction because the Phi's slow cores stay
+    # compute-busy; see EXPERIMENTS.md.)
+    assert rows["pagerank"].gpu_only > rows["pagerank"].multicore_only
+    # Utilization is benchmark-dependent, spanning a wide range.
+    values = [row.heteromap for row in result.rows]
+    assert max(values) > 2 * min(values)
+    # HeteroMap stays within a modest band of the better fixed machine.
+    assert result.geomean_improvement() > 0.7

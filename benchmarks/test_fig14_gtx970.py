@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 14 (the stronger GTX-970 pair)."""
+
+from repro.experiments import fig11_scheduler, fig14_gtx970
+
+
+def test_fig14_gtx970(benchmark, once):
+    result = once(benchmark, fig14_gtx970.run_experiment)
+    print("\n" + fig14_gtx970.render(result))
+    assert result.pair[0] == "gtx970"
+    # Paper: trends match the smaller GPU but margins move toward the
+    # GPU (HeteroMap +14% over GPU-only, 3.8x over Phi-only) — so the
+    # multicore-only baseline must lose more here than the GPU baseline.
+    assert result.geomean_gain_over_multicore() > result.geomean_gain_over_gpu()
+    assert result.geomean_gain_over_multicore() > 1.3
+    chosen = {cell.chosen_accelerator for cell in result.cells}
+    assert "gtx970" in chosen

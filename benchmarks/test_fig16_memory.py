@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 16 (memory-size sensitivity)."""
+
+from repro.experiments import fig16_memory
+
+
+def test_fig16_memory(benchmark, once):
+    result = once(benchmark, fig16_memory.run_experiment)
+    print("\n" + fig16_memory.render(result))
+    # Paper shape: the multicores keep improving as their larger
+    # memories eliminate chunk streaming (Phi ~30% over the GTX-750Ti at
+    # full memory); GPU curves flatten at their small board limits.
+    assert result.improvement("xeonphi7120p") > result.improvement("gtx750ti")
+    assert result.improvement("cpu40core") > result.improvement("gtx970")
+    assert result.improvement("xeonphi7120p") > 1.2
+    # Memory growth never hurts.
+    for name in ("gtx750ti", "gtx970", "xeonphi7120p", "cpu40core"):
+        times = [p.geomean_time_ms for p in result.series(name)]
+        assert all(b <= a + 1e-9 for a, b in zip(times, times[1:]))

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Table I (dataset registry + proxy build cost)."""
+
+from repro.experiments.common import render_table
+from repro.graph.datasets import DATASETS, load_proxy_graph
+from repro.graph.properties import compute_stats
+
+
+def test_table1_datasets(benchmark, once):
+    def build_all():
+        return {
+            name: compute_stats(load_proxy_graph(name)) for name in DATASETS
+        }
+
+    stats = once(benchmark, build_all)
+    rows = []
+    for name, spec in DATASETS.items():
+        proxy = stats[name]
+        rows.append(
+            [
+                name, spec.code, spec.paper.num_vertices, spec.paper.num_edges,
+                spec.paper.max_degree, spec.paper.diameter,
+                proxy.num_vertices, proxy.num_edges, proxy.max_degree,
+            ]
+        )
+    print("\nTable I: datasets (paper scale vs structural proxy)")
+    print(
+        render_table(
+            ["dataset", "code", "#V", "#E", "MaxDeg", "Dia",
+             "proxy #V", "proxy #E", "proxy MaxDeg"],
+            rows,
+        )
+    )
+    assert len(stats) == 9

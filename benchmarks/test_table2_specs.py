@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table II (accelerator configurations)."""
+
+from repro.experiments import table2_specs
+
+
+def test_table2_specs(benchmark, once):
+    specs = once(benchmark, table2_specs.run_experiment)
+    print("\n" + table2_specs.render(specs))
+    for name, expected in table2_specs.PAPER_TABLE2.items():
+        for field, value in expected.items():
+            assert getattr(specs[name], field) == value

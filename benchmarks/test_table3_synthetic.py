@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table III / Figure 9 (synthetic training data)."""
+
+from repro.experiments import table3_synthetic
+
+
+def test_table3_synthetic(benchmark, once):
+    summary = once(
+        benchmark, table3_synthetic.run_experiment, num_samples=400, seed=7
+    )
+    print("\n" + table3_synthetic.render(summary))
+    assert summary.vertex_range[1] <= 65e6  # Table III: 16-65M vertices
+    assert summary.edge_range[1] <= 2e9  # Table III: 16-2B edges
+    assert set(summary.families) == {"uniform", "kronecker"}
+    assert set(summary.active_phase_counts) <= {1, 2, 3}

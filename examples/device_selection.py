@@ -1,0 +1,57 @@
+"""Device selection deep-dive: how (B, I) characteristics drive M1.
+
+Run with::
+
+    python examples/device_selection.py
+
+Walks the paper's Section IV analytical model over every benchmark-input
+combination, printing which accelerator the decision tree picks, the rule
+that fired, and how the choice compares with the exhaustive oracle —
+reproducing the Figure 7 reasoning across the full Table I grid.
+"""
+
+from __future__ import annotations
+
+from repro.core.decision_tree import decision_tree_predict
+from repro.experiments.common import BENCHMARK_ORDER, DATASET_ORDER
+from repro.graph.datasets import get_dataset
+from repro.machine.specs import get_accelerator
+from repro.runtime.deploy import prepare_workload, run_workload
+from repro.tuning.exhaustive import best_on_pair
+
+
+def main() -> None:
+    gpu = get_accelerator("gtx750ti")
+    multicore = get_accelerator("xeonphi7120p")
+    print("Analytical decision tree (Section IV) vs the exhaustive oracle")
+    print("=" * 72)
+
+    agree = 0
+    total = 0
+    for benchmark in BENCHMARK_ORDER:
+        for dataset in DATASET_ORDER:
+            workload = prepare_workload(benchmark, dataset)
+            spec, config, decision = decision_tree_predict(
+                workload.bvars, workload.ivars, gpu, multicore
+            )
+            selected = run_workload(workload, spec, config)
+            oracle = best_on_pair(workload.profile, (gpu, multicore))
+            match = "ok " if oracle.accelerator == spec.name else "MISS"
+            agree += oracle.accelerator == spec.name
+            total += 1
+            code = get_dataset(dataset).code
+            print(
+                f"{benchmark:20s} {code:5s} tree->{spec.name:13s}"
+                f" oracle->{oracle.accelerator:13s} [{match}]"
+                f" {selected.time_ms:9.1f}ms vs {oracle.time_ms:9.1f}ms"
+                f"  ({decision.rule})"
+            )
+    print("-" * 72)
+    print(
+        f"accelerator-choice agreement with the oracle:"
+        f" {agree}/{total} = {100 * agree / total:.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

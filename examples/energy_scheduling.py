@@ -1,0 +1,62 @@
+"""Energy-objective scheduling (the Figure 12 use case).
+
+Run with::
+
+    python examples/energy_scheduling.py
+
+Trains two HeteroMap instances on the same pair — one optimizing time,
+one optimizing energy — and shows where the two objectives pick different
+deployments: the 300 W Xeon Phi may win on completion time yet lose on
+energy to the 60 W GTX-750Ti.
+"""
+
+from __future__ import annotations
+
+from repro.core.heteromap import HeteroMap
+from repro.runtime.deploy import prepare_workload
+
+
+def main() -> None:
+    print("Time-optimal vs energy-optimal scheduling")
+    print("=" * 72)
+    time_sched = HeteroMap.with_default_pair(
+        predictor="deep64", metric="time", seed=5
+    )
+    energy_sched = HeteroMap.with_default_pair(
+        predictor="deep64", metric="energy", seed=5
+    )
+    print("training both schedulers (80 synthetic samples each) ...\n")
+    time_sched.train(num_samples=80, seed=5)
+    energy_sched.train(num_samples=80, seed=5)
+
+    combos = [
+        ("sssp_bf", "cage14"),
+        ("sssp_delta", "usa-cal"),
+        ("pagerank", "facebook"),
+        ("triangle_counting", "livejournal"),
+        ("bfs", "rgg-n-24"),
+    ]
+    header = (
+        f"{'benchmark':18s} {'input':12s} {'time-sched':>24s}"
+        f" {'energy-sched':>24s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for benchmark, dataset in combos:
+        workload = prepare_workload(benchmark, dataset)
+        by_time = time_sched.run_workload(workload)
+        by_energy = energy_sched.run_workload(workload)
+        print(
+            f"{benchmark:18s} {dataset:12s}"
+            f" {by_time.chosen_accelerator:>13s} {by_time.energy_j:7.1f} J"
+            f" {by_energy.chosen_accelerator:>13s}"
+            f" {by_energy.energy_j:7.1f} J"
+        )
+    print(
+        "\nThe energy-trained scheduler shifts borderline combinations"
+        " toward the lower-power GPU (the paper's ~2.4x energy benefit)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Streaming graphs larger than device memory (the paper's Stinger path).
+
+Run with::
+
+    python examples/streaming_large_graphs.py
+
+Demonstrates the two halves of the out-of-memory story:
+
+1. a *functional* chunked execution — Bellman-Ford over a graph streamed
+   through a deliberately tiny memory budget, validated against the
+   whole-graph result;
+2. the *performance* consequence — how the simulated completion time of
+   paper-scale graphs responds to each accelerator's memory size
+   (Figure 16's effect), which is why HeteroMap routes the billion-edge
+   inputs to the machine with the faster streaming path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.chunking import num_chunks_for_budget
+from repro.graph.generators import uniform_random_graph
+from repro.kernels import SsspBellmanFord
+from repro.machine.mvars import default_config
+from repro.machine.specs import get_accelerator, with_memory_gb
+from repro.runtime.deploy import prepare_workload, run_workload
+from repro.runtime.streaming import streaming_sssp_bf
+
+
+def functional_demo() -> None:
+    print("1. chunked Bellman-Ford (functional)")
+    graph = uniform_random_graph(2000, 16_000, seed=12)
+    budget = 16 * 1024  # 16 KiB of simulated device memory
+    chunks = num_chunks_for_budget(graph, budget)
+    whole = SsspBellmanFord().run(graph, source=0).output
+    streamed = streaming_sssp_bf(graph, budget_bytes=budget, source=0)
+    finite = np.isfinite(whole)
+    matches = np.allclose(streamed.output[finite], whole[finite])
+    print(
+        f"   graph: {graph.num_vertices} vertices, {graph.num_edges} edges;"
+        f" budget {budget // 1024} KiB -> {chunks} chunks"
+    )
+    print(
+        f"   {streamed.chunk_loads} chunk loads over"
+        f" {streamed.iterations} iterations; matches whole-graph result:"
+        f" {matches}"
+    )
+
+
+def performance_demo() -> None:
+    print("\n2. memory-size sensitivity (simulated, paper-scale Twitter)")
+    workload = prepare_workload("pagerank", "twitter")  # 1.47B edges
+    for name, sizes in [
+        ("gtx750ti", (1.0, 2.0)),
+        ("xeonphi7120p", (2.0, 8.0, 16.0)),
+    ]:
+        base = get_accelerator(name)
+        times = []
+        for mem_gb in sizes:
+            spec = with_memory_gb(base, mem_gb)
+            result = run_workload(workload, spec, default_config(spec))
+            times.append(f"{mem_gb:4.0f} GB -> {result.time_ms:9.1f} ms")
+        print(f"   {name:13s} " + " | ".join(times))
+    print(
+        "   The Phi keeps gaining as its memory grows (less streaming);"
+        " the GPU is capped by its 2 GB board."
+    )
+
+
+def main() -> None:
+    print("Out-of-memory graph processing")
+    print("=" * 64)
+    functional_demo()
+    performance_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""HeteroMap reproduction: runtime performance prediction for graph
+analytics on heterogeneous multi-accelerators (ISPASS 2019).
+
+Quickstart::
+
+    from repro import HeteroMap, load_proxy_graph
+
+    hetero = HeteroMap.with_default_pair()
+    hetero.train(num_samples=400, seed=7)
+    outcome = hetero.run("sssp_bf", "usa-cal")
+    print(outcome.chosen_accelerator, outcome.completion_time_ms)
+
+The top-level namespace re-exports the main entry points; subpackages hold
+the substrates (``repro.graph``, ``repro.kernels``, ``repro.accel``), the
+feature/machine models (``repro.features``, ``repro.machine``), and the
+predictor core (``repro.core``).
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]
+
+
+def __getattr__(name: str):
+    """Lazily expose the heavyweight public API to keep import cheap."""
+    if name in {"HeteroMap", "RunOutcome"}:
+        from repro.core import heteromap
+
+        return getattr(heteromap, name)
+    if name in {"CSRGraph", "load_proxy_graph", "dataset_names", "get_dataset"}:
+        import repro.graph as graph
+
+        return getattr(graph, name)
+    if name in {"AcceleratorSpec", "accelerator_names", "get_accelerator"}:
+        from repro.machine import specs
+
+        return getattr(specs, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,16 @@
+"""Accelerator simulation: cost, energy, and utilization models."""
+
+from repro.accel.cost_model import PhaseCost, WorkloadCost, evaluate_cost
+from repro.accel.energy import EnergyResult, active_core_fraction, evaluate_energy
+from repro.accel.simulator import SimulationResult, simulate
+
+__all__ = [
+    "EnergyResult",
+    "PhaseCost",
+    "SimulationResult",
+    "WorkloadCost",
+    "active_core_fraction",
+    "evaluate_cost",
+    "evaluate_energy",
+    "simulate",
+]

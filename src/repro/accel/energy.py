@@ -1,0 +1,57 @@
+"""Accelerator energy model (Figure 12's metric).
+
+Power is modelled as an idle floor plus a dynamic component proportional to
+the share of active cores and their utilization — the level of detail the
+paper's micsmc/powerstat measurements resolve.  The Xeon Phi's much larger
+power rating ("it dissipates more energy", Section VII-C) flows directly
+from its Table II-derived TDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.cost_model import WorkloadCost
+from repro.machine.mvars import MachineConfig, total_threads
+from repro.machine.specs import AcceleratorSpec
+
+__all__ = ["EnergyResult", "evaluate_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyResult:
+    """Power/energy outcome of one deployment."""
+
+    accelerator: str
+    avg_power_w: float
+    energy_j: float
+
+
+def active_core_fraction(spec: AcceleratorSpec, config: MachineConfig) -> float:
+    """Share of the chip's cores the configuration powers up."""
+    if spec.is_gpu:
+        # SIMT cores activate with resident thread coverage.
+        return min(1.0, total_threads(config, spec) / spec.max_threads)
+    return min(1.0, config.cores / spec.cores)
+
+
+def evaluate_energy(
+    cost: WorkloadCost,
+    spec: AcceleratorSpec,
+    config: MachineConfig,
+) -> EnergyResult:
+    """Energy for a completed run.
+
+    Dynamic power scales with active cores and with utilization (stalled
+    cores clock-gate part of their pipelines); energy is power times the
+    modelled completion time.
+    """
+    active = active_core_fraction(spec, config)
+    utilization = cost.utilization
+    dynamic_span = spec.tdp_watts - spec.idle_watts
+    avg_power = spec.idle_watts + dynamic_span * active * (0.4 + 0.6 * utilization)
+    return EnergyResult(
+        accelerator=spec.name,
+        avg_power_w=avg_power,
+        energy_j=avg_power * cost.time_s,
+    )

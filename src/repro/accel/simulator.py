@@ -1,0 +1,80 @@
+"""Top-level accelerator simulator: time + energy + utilization.
+
+Wraps the cost and energy models into the single entry point the runtime,
+tuner, and training pipeline use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.cost_model import WorkloadCost, evaluate_cost
+from repro.accel.energy import EnergyResult, evaluate_energy
+from repro.errors import SimulationError
+from repro.machine.mvars import MachineConfig, clamp_config
+from repro.machine.specs import AcceleratorSpec
+from repro.workload.profile import WorkloadProfile
+
+__all__ = ["SimulationResult", "simulate"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of running a workload on one accelerator configuration."""
+
+    accelerator: str
+    config: MachineConfig
+    cost: WorkloadCost
+    energy: EnergyResult
+
+    @property
+    def time_s(self) -> float:
+        """Completion time in seconds."""
+        return self.cost.time_s
+
+    @property
+    def time_ms(self) -> float:
+        """Completion time in milliseconds."""
+        return self.cost.time_s * 1e3
+
+    @property
+    def energy_j(self) -> float:
+        """Energy in joules."""
+        return self.energy.energy_j
+
+    @property
+    def utilization(self) -> float:
+        """Core-busy fraction in [0, 1]."""
+        return self.cost.utilization
+
+    def objective(self, metric: str) -> float:
+        """Scalar objective for tuning: lower is better.
+
+        Raises:
+            SimulationError: for unknown metric names.
+        """
+        if metric == "time":
+            return self.time_s
+        if metric == "energy":
+            return self.energy_j
+        if metric == "edp":  # energy-delay product
+            return self.energy_j * self.time_s
+        raise SimulationError(f"unknown objective metric {metric!r}")
+
+
+def simulate(
+    profile: WorkloadProfile,
+    spec: AcceleratorSpec,
+    config: MachineConfig,
+) -> SimulationResult:
+    """Simulate ``profile`` on ``spec`` under ``config``.
+
+    The configuration is clamped to the machine's maxima first (the
+    paper's ceiling rule), so callers may pass equation outputs directly.
+    """
+    config = clamp_config(config, spec)
+    cost = evaluate_cost(profile, spec, config)
+    energy = evaluate_energy(cost, spec, config)
+    return SimulationResult(
+        accelerator=spec.name, config=config, cost=cost, energy=energy
+    )

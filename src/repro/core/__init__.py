@@ -1,0 +1,50 @@
+"""HeteroMap core: analytical model, learners, training, framework."""
+
+from repro.core.database import TrainingDatabase
+from repro.core.decision_tree import (
+    TreeDecision,
+    decision_tree_predict,
+    select_accelerator,
+)
+from repro.core.encoding import (
+    NUM_FEATURES,
+    NUM_TARGETS,
+    TARGET_NAMES,
+    choice_signature,
+    decode_config,
+    encode_config,
+    encode_features,
+)
+from repro.core.equations import (
+    config_from_equations,
+    gpu_config_from_equations,
+    multicore_config_from_equations,
+)
+from repro.core.heteromap import HeteroMap, RunOutcome
+from repro.core.overhead import measure_overhead_ms
+from repro.core.predictors import make_predictor, predictor_names
+from repro.core.training import build_training_database, label_sample
+
+__all__ = [
+    "HeteroMap",
+    "NUM_FEATURES",
+    "NUM_TARGETS",
+    "RunOutcome",
+    "TARGET_NAMES",
+    "TrainingDatabase",
+    "TreeDecision",
+    "build_training_database",
+    "choice_signature",
+    "config_from_equations",
+    "decision_tree_predict",
+    "decode_config",
+    "encode_config",
+    "encode_features",
+    "gpu_config_from_equations",
+    "label_sample",
+    "make_predictor",
+    "measure_overhead_ms",
+    "multicore_config_from_equations",
+    "predictor_names",
+    "select_accelerator",
+]

@@ -1,0 +1,97 @@
+"""Profiler database of (B, I) → best-M tuples (Section V's "Training").
+
+The paper stores auto-tuned optimal selections "in an off-line database
+... indexed using B, I tuples to get M solutions".  This module is that
+database: rows of feature vectors, best-config target vectors, and the
+achieved objective values, with JSON persistence so a trained setup can be
+reloaded without re-sweeping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+__all__ = ["TrainingDatabase"]
+
+
+@dataclass
+class TrainingDatabase:
+    """Offline training rows for one accelerator pair + objective.
+
+    Attributes:
+        pair: (gpu name, multicore name).
+        metric: tuning objective the labels optimize ("time"/"energy").
+        features: list of 17-element feature vectors.
+        targets: list of normalized best-config vectors.
+        objectives: achieved objective value per row (seconds or joules).
+    """
+
+    pair: tuple[str, str]
+    metric: str = "time"
+    features: list[list[float]] = field(default_factory=list)
+    targets: list[list[float]] = field(default_factory=list)
+    objectives: list[float] = field(default_factory=list)
+
+    def add(
+        self,
+        features: np.ndarray,
+        target: np.ndarray,
+        objective: float,
+    ) -> None:
+        """Append one labelled sample."""
+        self.features.append([float(v) for v in features])
+        self.targets.append([float(v) for v in target])
+        self.objectives.append(float(objective))
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        """(X, Y) training matrices.
+
+        Raises:
+            TrainingError: when the database is empty.
+        """
+        if not self.features:
+            raise TrainingError("training database is empty")
+        return (
+            np.asarray(self.features, dtype=np.float64),
+            np.asarray(self.targets, dtype=np.float64),
+        )
+
+    def save(self, path: str | os.PathLike[str]) -> None:
+        """Persist to JSON."""
+        payload = {
+            "pair": list(self.pair),
+            "metric": self.metric,
+            "features": self.features,
+            "targets": self.targets,
+            "objectives": self.objectives,
+        }
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "TrainingDatabase":
+        """Reload a persisted database.
+
+        Raises:
+            TrainingError: on malformed files.
+        """
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+            return cls(
+                pair=tuple(payload["pair"]),
+                metric=payload.get("metric", "time"),
+                features=payload["features"],
+                targets=payload["targets"],
+                objectives=payload["objectives"],
+            )
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise TrainingError(f"cannot load training database: {exc}") from exc

@@ -1,0 +1,110 @@
+"""The Section IV hand-built decision tree (inter-accelerator M1 model).
+
+A three-layer IF-ELSE system over the discretized (B, I) variables with
+the paper's default threshold of 0.5 ("the unbiased mid-point in
+normalized B, I values").  The rules below are the partial decision
+examples the paper spells out, arranged in its described order, with the
+obvious parallelism-vs-sequential comparison as the fallback layer:
+
+1. data-specific exceptions first (reductions with RW sharing, large
+   graphs with indirect addressing or FP needs → multicore; reductions
+   with FP and negligible local compute → GPU),
+2. phase structure (high B1/B2/B3 → GPU; push-pop with a dense graph →
+   multicore),
+3. fallback: whichever of the parallel (B1–B3) or sequential-ish (B4–B5)
+   phase mass dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.features.bvars import BVariables
+from repro.features.ivars import IVariables
+from repro.machine.mvars import MachineConfig
+from repro.machine.specs import AcceleratorSpec
+
+from repro.core.equations import config_from_equations
+
+__all__ = ["TreeDecision", "select_accelerator", "decision_tree_predict"]
+
+_THRESHOLD = 0.5  # the paper's default mid-point threshold
+
+
+@dataclass(frozen=True)
+class TreeDecision:
+    """Outcome of the M1 decision tree, with the fired rule for audit."""
+
+    choose_multicore: bool
+    rule: str
+
+
+def select_accelerator(bvars: BVariables, ivars: IVariables) -> TreeDecision:
+    """Apply the Section IV decision tree to one (B, I) combination."""
+    # Layer 1: data/synchronization exceptions.
+    if ivars.i1 == 0.0 and ivars.i2 == 0.0:
+        # The paper's caching rationale ("the dense graph fitting in its
+        # local caches"): graphs at the very bottom of the size scale
+        # live in the multicore's large coherent cache outright.
+        return TreeDecision(
+            True, "small graph fits the multicore's caches -> multicore"
+        )
+    if ivars.i1 >= _THRESHOLD:
+        # The paper's Figure 11 finding for graphs at the top of the size
+        # scale: "Frnd. and Kron. graphs ... perform better on the GPU
+        # because they are large and require more threads".  (Its Section
+        # IV text instead routes large+FP/indirect graphs to the
+        # multicore, contradicting its own results; we follow the data —
+        # see EXPERIMENTS.md.)
+        return TreeDecision(
+            False, "large graph requires more threads -> GPU"
+        )
+    if bvars.b5 >= _THRESHOLD and bvars.b10 >= _THRESHOLD:
+        return TreeDecision(
+            True, "reductions on read-write shared data -> multicore"
+        )
+    if (
+        bvars.b5 >= _THRESHOLD
+        and bvars.b6 > 0.0
+        and bvars.b11 < 0.3
+    ):
+        return TreeDecision(
+            False, "reductions with FP and negligible local compute -> GPU"
+        )
+    if bvars.b6 >= _THRESHOLD:
+        return TreeDecision(
+            True, "FP computations favor the multicore's DP/SIMD -> multicore"
+        )
+    if bvars.b8 >= _THRESHOLD:
+        return TreeDecision(
+            True, "indirect addressing favors the multicore's caches -> multicore"
+        )
+
+    # Layer 2: phase structure.
+    if max(bvars.b1, bvars.b2, bvars.b3) > _THRESHOLD:
+        return TreeDecision(False, "high vertex-level parallelism -> GPU")
+    if bvars.b4 >= _THRESHOLD and ivars.i2 >= _THRESHOLD:
+        return TreeDecision(
+            True, "push-pop accesses on a dense graph -> multicore"
+        )
+
+    # Layer 3: fallback on phase mass.
+    parallel_mass = bvars.b1 + bvars.b2 + bvars.b3
+    sequential_mass = bvars.b4 + bvars.b5
+    if parallel_mass >= sequential_mass:
+        return TreeDecision(False, "parallel phase mass dominates -> GPU")
+    return TreeDecision(True, "sequential phase mass dominates -> multicore")
+
+
+def decision_tree_predict(
+    bvars: BVariables,
+    ivars: IVariables,
+    gpu: AcceleratorSpec,
+    multicore: AcceleratorSpec,
+) -> tuple[AcceleratorSpec, MachineConfig, TreeDecision]:
+    """Full analytical prediction: M1 via the tree, M2–M20 via the
+    Section IV equations on the selected machine."""
+    decision = select_accelerator(bvars, ivars)
+    spec = multicore if decision.choose_multicore else gpu
+    config = config_from_equations(bvars, ivars, spec)
+    return spec, config, decision

@@ -1,0 +1,152 @@
+"""Feature and target encodings for the automated learners.
+
+Features are the paper's 17 input neurons: B1–B13 followed by I1–I4.
+Targets are a normalized 11-dimensional M vector (accelerator choice plus
+the intra-accelerator knobs the lattice sweeps), so every learner — linear,
+polynomial, or neural — regresses the same representation and decodes it
+back to a concrete :class:`MachineConfig` by snapping to the lattice.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.features.bvars import BVariables
+from repro.features.ivars import IVariables
+from repro.machine.mvars import MachineConfig, OmpSchedule, clamp_config
+from repro.machine.specs import AcceleratorSpec
+
+__all__ = [
+    "NUM_FEATURES",
+    "NUM_TARGETS",
+    "TARGET_NAMES",
+    "encode_features",
+    "encode_config",
+    "decode_config",
+    "choice_signature",
+]
+
+NUM_FEATURES = 17
+TARGET_NAMES = (
+    "accel",  # 0 = GPU, 1 = multicore (M1)
+    "cores_frac",  # M2 / max cores
+    "tpc_frac",  # (M3 - 1) / (max tpc - 1)
+    "simd_frac",  # log2(M10) / log2(max simd)
+    "blocktime",  # log10(M4) / 3
+    "placement",  # M5-7 looseness
+    "affinity",  # M8
+    "schedule",  # M11: 0 static, 0.5 dynamic, 1 guided
+    "global_frac",  # M19 / max global threads
+    "local_frac",  # log2(M20 / 32) / log2(1024 / 32)
+    "chunk",  # log2(M12 / 16) / log2(1024 / 16)
+)
+NUM_TARGETS = len(TARGET_NAMES)
+
+_SCHEDULE_TO_VALUE = {
+    OmpSchedule.STATIC: 0.0,
+    OmpSchedule.DYNAMIC: 0.5,
+    OmpSchedule.AUTO: 0.5,
+    OmpSchedule.GUIDED: 1.0,
+}
+
+
+def encode_features(bvars: BVariables, ivars: IVariables) -> np.ndarray:
+    """17-element feature vector: B1..B13 then I1..I4."""
+    return np.asarray(bvars.as_vector() + ivars.as_vector(), dtype=np.float64)
+
+
+def _log_frac(value: float, low: float, high: float) -> float:
+    if value <= low:
+        return 0.0
+    return min(1.0, math.log2(value / low) / math.log2(high / low))
+
+
+def _log_unfrac(frac: float, low: float, high: float) -> float:
+    return low * (high / low) ** min(1.0, max(0.0, frac))
+
+
+def encode_config(
+    config: MachineConfig,
+    gpu: AcceleratorSpec,
+    multicore: AcceleratorSpec,
+) -> np.ndarray:
+    """Normalize a concrete configuration into the target vector."""
+    is_multicore = config.accelerator == multicore.name
+    vector = np.zeros(NUM_TARGETS)
+    vector[0] = 1.0 if is_multicore else 0.0
+    vector[1] = config.cores / multicore.cores
+    tpc_span = max(multicore.threads_per_core - 1, 1)
+    vector[2] = (config.threads_per_core - 1) / tpc_span
+    simd_span = max(math.log2(max(multicore.simd_width, 2)), 1.0)
+    vector[3] = math.log2(max(config.simd_width, 1)) / simd_span
+    vector[4] = math.log10(max(config.blocktime_ms, 1.0)) / 3.0
+    vector[5] = config.placement_looseness
+    vector[6] = config.affinity
+    vector[7] = _SCHEDULE_TO_VALUE[config.omp_schedule]
+    vector[8] = config.gpu_global_threads / gpu.max_threads
+    vector[9] = _log_frac(config.gpu_local_threads, 32.0, 1024.0)
+    vector[10] = _log_frac(config.omp_chunk, 16.0, 1024.0)
+    return np.clip(vector, 0.0, 1.0)
+
+
+def decode_config(
+    vector: np.ndarray,
+    gpu: AcceleratorSpec,
+    multicore: AcceleratorSpec,
+) -> tuple[AcceleratorSpec, MachineConfig]:
+    """Turn a (possibly fractional) prediction back into a deployment.
+
+    The accelerator choice thresholds at 0.5 (the paper's default);
+    continuous knobs round to their nearest machine value and are clamped
+    by the ceiling rule.
+    """
+    vector = np.clip(np.asarray(vector, dtype=np.float64), 0.0, 1.0)
+    is_multicore = vector[0] >= 0.5
+    schedule_value = vector[7]
+    if schedule_value < 0.25:
+        schedule = OmpSchedule.STATIC
+    elif schedule_value < 0.75:
+        schedule = OmpSchedule.DYNAMIC
+    else:
+        schedule = OmpSchedule.GUIDED
+    if is_multicore:
+        spec = multicore
+        config = MachineConfig(
+            accelerator=spec.name,
+            cores=max(1, round(vector[1] * spec.cores)),
+            threads_per_core=max(
+                1, round(1 + vector[2] * (spec.threads_per_core - 1))
+            ),
+            simd_width=max(1, round(2 ** (vector[3] * math.log2(max(spec.simd_width, 2))))),
+            blocktime_ms=min(1000.0, max(1.0, 10 ** (vector[4] * 3.0))),
+            placement_core=float(vector[5]),
+            placement_thread=float(vector[5]),
+            placement_offset=float(vector[5]),
+            affinity=float(vector[6]),
+            omp_schedule=schedule,
+            omp_chunk=max(1, round(_log_unfrac(vector[10], 16.0, 1024.0))),
+        )
+    else:
+        spec = gpu
+        config = MachineConfig(
+            accelerator=spec.name,
+            gpu_global_threads=max(1, round(vector[8] * spec.max_threads)),
+            gpu_local_threads=max(1, round(_log_unfrac(vector[9], 32.0, 1024.0))),
+        )
+    return spec, clamp_config(config, spec)
+
+
+def choice_signature(
+    vector: np.ndarray, *, grid: float = 0.25
+) -> tuple[int, ...]:
+    """Discretize a target vector into integer choice selections.
+
+    Table IV's accuracy metric compares "the integer outputs (constituting
+    choice selections) of the learners"; this signature is that integer
+    view — the accelerator bit plus each knob snapped to a coarse grid.
+    """
+    vector = np.clip(np.asarray(vector, dtype=np.float64), 0.0, 1.0)
+    snapped = np.round(vector / grid).astype(np.int64)
+    return tuple(int(v) for v in snapped)

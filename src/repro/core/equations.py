@@ -1,0 +1,132 @@
+"""The paper's intra-accelerator linear equations (Section IV).
+
+Each M variable is a linear function ``M = a(B, I) + k`` of the discretized
+benchmark/input variables, with ``k`` the machine's minimum value and a
+ceiling at its maximum.  The equations below are the ones printed in the
+paper; the handful it relegates to "the HeteroMap repository" (the OpenMP
+knobs M9, M11–M18) follow the relationships its Section III-A prose states
+(dynamic scheduling for read-write shared data, spin counts under
+contention, nesting for multi-phase loops).
+
+The module reproduces the paper's worked example exactly: SSSP-Delta on
+USA-Cal resolves to 7 cores (M2), maximum 4 threads/core (M3), placement
+0.9 (M5–M7); SSSP-BF on the GPU resolves to M19 = 0.1 of global threads
+and M20 = maximum local threads.
+"""
+
+from __future__ import annotations
+
+from repro.features.bvars import BVariables
+from repro.features.ivars import IVariables
+from repro.machine.mvars import MachineConfig, OmpSchedule, clamp_config
+from repro.machine.specs import AcceleratorSpec
+
+__all__ = [
+    "MAX_THREAD_WAIT_MS",
+    "gpu_config_from_equations",
+    "multicore_config_from_equations",
+    "config_from_equations",
+]
+
+MAX_THREAD_WAIT_MS = 1000.0  # "max_thread_wait_time is set to be 1000ms"
+_MAX_LOCAL_THREADS = 1024  # CL_KERNEL_WORK_GROUP_SIZE stand-in
+
+
+def gpu_config_from_equations(
+    bvars: BVariables, ivars: IVariables, spec: AcceleratorSpec
+) -> MachineConfig:
+    """M19/M20 for a GPU deployment.
+
+    ``M19 = I1 * max_global_threads + k`` and
+    ``M20 = Avg.Deg * max_local_threads + k`` with k = 1 (at least one
+    thread must be spawned), ceilinged at the machine maxima.
+    """
+    local_threads = max(1, round(ivars.avg_degree * _MAX_LOCAL_THREADS) + 1)
+    # k = one schedulable unit: at least a full work group must launch,
+    # so tiny graphs (I1 = 0) still occupy hardware.
+    global_threads = max(
+        round(ivars.i1 * spec.max_threads) + 1, local_threads
+    )
+    return clamp_config(
+        MachineConfig(
+            accelerator=spec.name,
+            gpu_global_threads=global_threads,
+            gpu_local_threads=local_threads,
+        ),
+        spec,
+    )
+
+
+def multicore_config_from_equations(
+    bvars: BVariables, ivars: IVariables, spec: AcceleratorSpec
+) -> MachineConfig:
+    """M2–M18 for a multicore deployment, per the Section IV equations."""
+    avg_deg = ivars.avg_degree
+    avg_deg_dia = ivars.avg_deg_dia
+
+    # M2 = I1 * max_cores + k, with k = one scheduling unit (an eighth
+    # of the chip) so tiny graphs still keep a core group busy.
+    cores = max(int(ivars.i1 * spec.cores) + 1, spec.cores // 8)
+    # M3, M10 = Avg.Deg * max_multi-threading + k (k = 1, "at least one
+    # thread"), ceilinged at the machine maxima.
+    threads_per_core = min(
+        spec.threads_per_core, int(avg_deg * spec.threads_per_core) + 1
+    )
+    simd_width = min(spec.simd_width, int(avg_deg * spec.simd_width) + 1)
+    # M4 = (B12 + B13) / 2 * max_thread_wait_time + k (k = 1 ms); the
+    # average-of-contention reading the paper's prose states.
+    blocktime = ((bvars.b12 + bvars.b13) / 2.0) * MAX_THREAD_WAIT_MS + 1.0
+    # M5-7 = Avg.Deg.Dia * max_thread_placement (placement is already a
+    # 0-1 looseness fraction, so max_thread_placement = 1).
+    placement = min(1.0, avg_deg_dia)
+    # M8 = (Avg.Deg.Dia + B10) / 2 * max_thread_placement + k (k = 0:
+    # fully movable threads in the minimum case).
+    affinity = min(1.0, (avg_deg_dia + bvars.b10) / 2.0)
+
+    # OpenMP knobs (M9, M11-M18): Section III-A relationships.
+    # Dynamic scheduling mitigates contention on read-write shared data.
+    if bvars.b10 >= 0.5:
+        schedule = OmpSchedule.DYNAMIC
+    elif bvars.b4 + bvars.b5 >= 0.5:
+        schedule = OmpSchedule.GUIDED
+    else:
+        schedule = OmpSchedule.STATIC
+    # Chunk sizes track per-thread work (denser graphs, bigger tiles).
+    chunk = max(1, int(round(avg_deg * 256)) + 16)
+    # Nested parallelism pays off when multiple barrier-separated phases
+    # exist (B13 counts barriers per iteration).
+    nested = bvars.b13 >= 0.3
+    max_levels = 2 if nested else 1
+    # GOMP spin-count rises with contention ("larger times ... if there
+    # is high contention").
+    spincount = bvars.b12 * 1e6
+
+    return clamp_config(
+        MachineConfig(
+            accelerator=spec.name,
+            cores=cores,
+            threads_per_core=threads_per_core,
+            simd_width=simd_width,
+            blocktime_ms=min(MAX_THREAD_WAIT_MS, blocktime),
+            placement_core=placement,
+            placement_thread=placement,
+            placement_offset=placement,
+            affinity=affinity,
+            omp_dynamic=bvars.b10 >= 0.5,
+            omp_schedule=schedule,
+            omp_chunk=chunk,
+            omp_nested=nested,
+            omp_max_active_levels=max_levels,
+            omp_spincount=spincount,
+        ),
+        spec,
+    )
+
+
+def config_from_equations(
+    bvars: BVariables, ivars: IVariables, spec: AcceleratorSpec
+) -> MachineConfig:
+    """Intra-accelerator configuration for either machine kind."""
+    if spec.is_gpu:
+        return gpu_config_from_equations(bvars, ivars, spec)
+    return multicore_config_from_equations(bvars, ivars, spec)

@@ -1,0 +1,204 @@
+"""HeteroMap: the end-to-end framework (Figure 8's flow).
+
+``HeteroMap`` owns an accelerator pair, an offline-trained predictor, and
+the deployment plumbing:
+
+1. **offline** — :meth:`train` generates synthetic benchmark/input
+   combinations, auto-tunes them on the simulated pair, and fits the
+   configured predictor on the resulting database;
+2. **online** — :meth:`run` discretizes a real benchmark-input combination
+   into (B, I), predicts M choices, deploys on the chosen accelerator, and
+   reports the completion time *including* the predictor's measured
+   inference overhead (the paper's accounting).
+
+Baselines (:meth:`run_single_accelerator`, :meth:`run_ideal`) reproduce
+the GPU-only / multicore-only / manually-tuned comparisons of Section VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.simulator import SimulationResult
+from repro.core.database import TrainingDatabase
+from repro.core.overhead import measure_overhead_ms
+from repro.core.predictors import LearnedPredictor, make_predictor
+from repro.core.training import build_training_database
+from repro.errors import NotTrainedError, UnknownAcceleratorError
+from repro.machine.mvars import MachineConfig, default_config
+from repro.machine.specs import DEFAULT_PAIR, AcceleratorSpec, get_accelerator
+from repro.runtime.deploy import Workload, prepare_workload, run_workload
+from repro.tuning.exhaustive import best_on_accelerator
+
+__all__ = ["HeteroMap", "RunOutcome"]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Result of one HeteroMap-scheduled execution."""
+
+    benchmark: str
+    dataset: str
+    chosen_accelerator: str
+    config: MachineConfig
+    result: SimulationResult
+    predictor_overhead_ms: float
+
+    @property
+    def completion_time_ms(self) -> float:
+        """On-accelerator time plus the predictor's inference overhead —
+        the paper's completion-time metric."""
+        return self.result.time_ms + self.predictor_overhead_ms
+
+    @property
+    def energy_j(self) -> float:
+        """Energy of the deployed run in joules."""
+        return self.result.energy_j
+
+    @property
+    def utilization(self) -> float:
+        """Core utilization of the deployed run."""
+        return self.result.utilization
+
+
+class HeteroMap:
+    """Runtime performance predictor for a two-accelerator system."""
+
+    def __init__(
+        self,
+        pair: tuple[str, str] = DEFAULT_PAIR,
+        *,
+        predictor: str = "deep128",
+        metric: str = "time",
+        seed: int = 0,
+    ) -> None:
+        """Configure a HeteroMap instance.
+
+        Args:
+            pair: (gpu, multicore) accelerator registry names, in either
+                order — they are sorted into (gpu, multicore) roles.
+            predictor: learner name (see ``predictor_names()``).
+            metric: tuning objective — "time", "energy", or "edp".
+            seed: seed for training-set generation and learner init.
+
+        Raises:
+            UnknownAcceleratorError: when the pair is not one GPU plus
+                one multicore.
+        """
+        specs = [get_accelerator(name) for name in pair]
+        gpus = [spec for spec in specs if spec.is_gpu]
+        multicores = [spec for spec in specs if not spec.is_gpu]
+        if len(gpus) != 1 or len(multicores) != 1:
+            raise UnknownAcceleratorError(
+                "pair must contain exactly one GPU and one multicore, got "
+                f"{pair}"
+            )
+        self.gpu: AcceleratorSpec = gpus[0]
+        self.multicore: AcceleratorSpec = multicores[0]
+        self.metric = metric
+        self.seed = seed
+        self.predictor_name = predictor
+        self.predictor = make_predictor(
+            predictor, self.gpu, self.multicore, seed=seed
+        )
+        self.database: TrainingDatabase | None = None
+        self._overhead_ms: float | None = None
+
+    @classmethod
+    def with_default_pair(cls, **kwargs) -> "HeteroMap":
+        """The paper's primary setup: GTX-750Ti + Xeon Phi 7120P."""
+        return cls(DEFAULT_PAIR, **kwargs)
+
+    # -- offline ----------------------------------------------------------
+
+    def train(
+        self,
+        num_samples: int = 400,
+        *,
+        seed: int | None = None,
+        database: TrainingDatabase | None = None,
+    ) -> TrainingDatabase:
+        """Run the offline pipeline and fit the predictor.
+
+        A pre-built ``database`` (e.g. shared across learners in the
+        Table IV experiment) skips the auto-tuning sweep.
+        """
+        if database is None:
+            database = build_training_database(
+                self.gpu,
+                self.multicore,
+                num_samples=num_samples,
+                metric=self.metric,
+                seed=self.seed if seed is None else seed,
+            )
+        self.database = database
+        if isinstance(self.predictor, LearnedPredictor):
+            self.predictor.fit(*database.matrices())
+        self._overhead_ms = measure_overhead_ms(self.predictor)
+        return database
+
+    @property
+    def overhead_ms(self) -> float:
+        """Measured predictor inference latency (ms).
+
+        Raises:
+            NotTrainedError: before :meth:`train`.
+        """
+        if self._overhead_ms is None:
+            raise NotTrainedError("call train() before querying overhead")
+        return self._overhead_ms
+
+    # -- online -----------------------------------------------------------
+
+    def predict(self, workload: Workload) -> tuple[AcceleratorSpec, MachineConfig]:
+        """Predict the deployment for a prepared workload."""
+        return self.predictor.predict_config(
+            workload.bvars, workload.ivars, self.gpu, self.multicore
+        )
+
+    def run(self, benchmark: str, dataset: str) -> RunOutcome:
+        """Schedule and execute one benchmark-input combination."""
+        workload = prepare_workload(benchmark, dataset)
+        return self.run_workload(workload)
+
+    def run_workload(self, workload: Workload) -> RunOutcome:
+        """Schedule and execute a prepared workload."""
+        if self._overhead_ms is None:
+            raise NotTrainedError("call train() before run()")
+        spec, config = self.predict(workload)
+        result = run_workload(workload, spec, config)
+        return RunOutcome(
+            benchmark=workload.benchmark,
+            dataset=workload.dataset,
+            chosen_accelerator=spec.name,
+            config=config,
+            result=result,
+            predictor_overhead_ms=self._overhead_ms,
+        )
+
+    # -- baselines ----------------------------------------------------------
+
+    def run_single_accelerator(
+        self, workload: Workload, which: str, *, tuned: bool = True
+    ) -> SimulationResult:
+        """GPU-only / multicore-only baseline.
+
+        Args:
+            workload: prepared workload.
+            which: "gpu" or "multicore".
+            tuned: sweep the lattice (the paper manually tunes baselines
+                with OpenTuner) instead of the untuned default config.
+        """
+        spec = self.gpu if which == "gpu" else self.multicore
+        if tuned:
+            return best_on_accelerator(workload.profile, spec, metric=self.metric)
+        return run_workload(workload, spec, default_config(spec))
+
+    def run_ideal(self, workload: Workload) -> SimulationResult:
+        """The ideal oracle: best lattice point across both accelerators,
+        with no predictor overhead."""
+        candidates = [
+            best_on_accelerator(workload.profile, spec, metric=self.metric)
+            for spec in (self.gpu, self.multicore)
+        ]
+        return min(candidates, key=lambda result: result.objective(self.metric))

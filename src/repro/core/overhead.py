@@ -1,0 +1,47 @@
+"""Predictor runtime-overhead measurement (Table IV's third column).
+
+The paper charges each predictor's online inference latency against the
+workload's completion time.  Overhead here is measured the same way: wall
+clock of repeated single-sample predictions, reported as the median in
+milliseconds.  Absolute values depend on the host, but the *ordering*
+(linear < analytical tree < deep nets < high-order regression) is the
+property Table IV establishes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.encoding import NUM_FEATURES
+from repro.core.predictors.base import Predictor
+
+__all__ = ["measure_overhead_ms"]
+
+
+def measure_overhead_ms(
+    predictor: Predictor,
+    *,
+    repeats: int = 30,
+    warmup: int = 5,
+    seed: int = 0,
+) -> float:
+    """Median single-prediction latency in milliseconds.
+
+    Args:
+        predictor: a ready (trained, if applicable) predictor.
+        repeats: timed predictions to take the median over.
+        warmup: untimed predictions to absorb first-call costs.
+        seed: PRNG seed for the probe feature vectors.
+    """
+    rng = np.random.default_rng(seed)
+    probes = rng.random((warmup + repeats, NUM_FEATURES))
+    for row in probes[:warmup]:
+        predictor.predict_vector(row)
+    timings = []
+    for row in probes[warmup:]:
+        start = time.perf_counter()
+        predictor.predict_vector(row)
+        timings.append((time.perf_counter() - start) * 1e3)
+    return float(np.median(timings))

@@ -1,0 +1,72 @@
+"""Analytical decision-tree model wrapped as a Predictor.
+
+This is Table IV's "Decision Tree" row: the hand-built Section IV model
+needs no training; it computes M choices directly from (B, I) through the
+tree and the linear equations.  Wrapping it under the Predictor interface
+lets the Table IV experiment compare it against the learned models with
+identical plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.decision_tree import decision_tree_predict
+from repro.core.encoding import encode_config
+from repro.core.predictors.base import Predictor
+from repro.features.bvars import BVariables
+from repro.features.ivars import IVariables
+from repro.machine.mvars import MachineConfig
+from repro.machine.specs import AcceleratorSpec
+
+__all__ = ["AnalyticalTreePredictor"]
+
+
+class AnalyticalTreePredictor(Predictor):
+    """Section IV's manual decision tree + linear equations."""
+
+    name = "decision_tree"
+
+    def __init__(self, gpu: AcceleratorSpec, multicore: AcceleratorSpec) -> None:
+        self._gpu = gpu
+        self._multicore = multicore
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        """No-op: the analytical model is not trained."""
+
+    def predict_vector(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        single = features.ndim == 1
+        rows = features.reshape(1, -1) if single else features
+        out = []
+        for row in rows:
+            bvars = self._bvars_from(row)
+            ivars = IVariables(*[float(v) for v in row[13:17]])
+            _, config, _ = decision_tree_predict(
+                bvars, ivars, self._gpu, self._multicore
+            )
+            out.append(encode_config(config, self._gpu, self._multicore))
+        result = np.vstack(out)
+        return result[0] if single else result
+
+    def predict_config(
+        self,
+        bvars: BVariables,
+        ivars: IVariables,
+        gpu: AcceleratorSpec,
+        multicore: AcceleratorSpec,
+    ) -> tuple[AcceleratorSpec, MachineConfig]:
+        spec, config, _ = decision_tree_predict(bvars, ivars, gpu, multicore)
+        return spec, config
+
+    @staticmethod
+    def _bvars_from(row: np.ndarray) -> BVariables:
+        values = [float(v) for v in row[:13]]
+        # Feature rows round-trip through float math; repair the phase-sum
+        # invariant before reconstructing the dataclass.
+        phase_total = sum(values[:5])
+        if phase_total > 0:
+            values[:5] = [v / phase_total for v in values[:5]]
+        else:
+            values[0] = 1.0
+        return BVariables(*values)

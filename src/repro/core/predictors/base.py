@@ -1,0 +1,92 @@
+"""Predictor interface shared by all automated learners (Section V).
+
+A predictor maps the 17-dimensional (B, I) feature vector to the
+normalized M target vector; :meth:`predict_config` decodes that into a
+concrete accelerator + :class:`MachineConfig` deployment.  Learned
+predictors implement :meth:`fit`; the analytical decision tree wraps the
+Section IV model under the same interface so Table IV can compare them
+uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.encoding import decode_config, encode_features
+from repro.errors import NotTrainedError, TrainingError
+from repro.features.bvars import BVariables
+from repro.features.ivars import IVariables
+from repro.machine.mvars import MachineConfig
+from repro.machine.specs import AcceleratorSpec
+
+__all__ = ["Predictor", "LearnedPredictor"]
+
+
+class Predictor(abc.ABC):
+    """Maps (B, I) features to normalized M targets."""
+
+    #: registry key, e.g. ``"deep128"``.
+    name: str = ""
+
+    @abc.abstractmethod
+    def predict_vector(self, features: np.ndarray) -> np.ndarray:
+        """Predict the normalized M target vector for one feature row."""
+
+    def predict_config(
+        self,
+        bvars: BVariables,
+        ivars: IVariables,
+        gpu: AcceleratorSpec,
+        multicore: AcceleratorSpec,
+    ) -> tuple[AcceleratorSpec, MachineConfig]:
+        """Predict and decode a concrete deployment."""
+        vector = self.predict_vector(encode_features(bvars, ivars))
+        return decode_config(vector, gpu, multicore)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class LearnedPredictor(Predictor):
+    """Base class for predictors trained on an offline database."""
+
+    def __init__(self) -> None:
+        self._trained = False
+
+    @abc.abstractmethod
+    def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        """Subclass hook: fit on validated (n, 17) / (n, T) matrices."""
+
+    @abc.abstractmethod
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        """Subclass hook: predict an (n, T) matrix for (n, 17) features."""
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        """Train on the offline database.
+
+        Raises:
+            TrainingError: for empty or mismatched training matrices.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2 or targets.ndim != 2:
+            raise TrainingError("training matrices must be 2-D")
+        if features.shape[0] == 0:
+            raise TrainingError("training set is empty")
+        if features.shape[0] != targets.shape[0]:
+            raise TrainingError("feature/target row mismatch")
+        self._fit(features, targets)
+        self._trained = True
+
+    def predict_vector(self, features: np.ndarray) -> np.ndarray:
+        if not self._trained:
+            raise NotTrainedError(
+                f"{self.name or type(self).__name__} queried before fit()"
+            )
+        features = np.asarray(features, dtype=np.float64)
+        single = features.ndim == 1
+        batch = features.reshape(1, -1) if single else features
+        prediction = np.clip(self._predict(batch), 0.0, 1.0)
+        return prediction[0] if single else prediction

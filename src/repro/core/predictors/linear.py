@@ -1,0 +1,36 @@
+"""Simple linear regression predictor (Table IV's weakest learner).
+
+Ordinary least squares from features (plus bias) to the normalized M
+targets.  The paper finds it cheap (0.05 ms) but inaccurate (50.1%) —
+the B/I-to-M relationships are non-linear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.predictors.base import LearnedPredictor
+
+__all__ = ["LinearPredictor"]
+
+
+class LinearPredictor(LearnedPredictor):
+    """OLS regression with a bias column."""
+
+    name = "linear"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._coef: np.ndarray | None = None
+
+    @staticmethod
+    def _design(features: np.ndarray) -> np.ndarray:
+        return np.hstack([features, np.ones((features.shape[0], 1))])
+
+    def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        design = self._design(features)
+        self._coef, *_ = np.linalg.lstsq(design, targets, rcond=None)
+
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        assert self._coef is not None
+        return self._design(features) @ self._coef

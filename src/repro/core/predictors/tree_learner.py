@@ -1,0 +1,106 @@
+"""Learned CART regression tree (extension beyond the paper).
+
+Table IV's "Decision Tree" row is the hand-built Section IV model; this
+module adds the natural follow-up the paper leaves as future work
+("other thresholds may also work by fine tuning") — a CART tree *learned*
+from the same training database, so the threshold-tuning question can be
+studied empirically (see the ablation benchmark).  Single-output-mean leaf
+model, variance-reduction splits, from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.predictors.base import LearnedPredictor
+
+__all__ = ["CartPredictor"]
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: np.ndarray | None = None  # leaf payload
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node carries a leaf payload."""
+        return self.value is not None
+
+
+class CartPredictor(LearnedPredictor):
+    """Multi-output CART regression tree."""
+
+    name = "cart"
+
+    def __init__(self, *, max_depth: int = 8, min_samples: int = 8) -> None:
+        super().__init__()
+        if max_depth < 1 or min_samples < 1:
+            raise ValueError("max_depth and min_samples must be positive")
+        self.max_depth = int(max_depth)
+        self.min_samples = int(min_samples)
+        self._root: _Node | None = None
+
+    def _build(
+        self, features: np.ndarray, targets: np.ndarray, depth: int
+    ) -> _Node:
+        if depth >= self.max_depth or features.shape[0] < 2 * self.min_samples:
+            return _Node(value=targets.mean(axis=0))
+        parent_score = targets.var(axis=0).sum() * targets.shape[0]
+        best = (None, None, parent_score - 1e-12)
+        for feature in range(features.shape[1]):
+            column = features[:, feature]
+            candidates = np.unique(np.round(column, 3))
+            if candidates.size < 2:
+                continue
+            thresholds = (candidates[:-1] + candidates[1:]) / 2.0
+            for threshold in thresholds:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                if n_left < self.min_samples or features.shape[0] - n_left < self.min_samples:
+                    continue
+                score = (
+                    targets[mask].var(axis=0).sum() * n_left
+                    + targets[~mask].var(axis=0).sum() * (features.shape[0] - n_left)
+                )
+                if score < best[2]:
+                    best = (feature, threshold, score)
+        feature, threshold, _ = best
+        if feature is None:
+            return _Node(value=targets.mean(axis=0))
+        mask = features[:, feature] <= threshold
+        return _Node(
+            feature=feature,
+            threshold=float(threshold),
+            left=self._build(features[mask], targets[mask], depth + 1),
+            right=self._build(features[~mask], targets[~mask], depth + 1),
+        )
+
+    def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        self._root = self._build(features, targets, depth=0)
+
+    def _predict_row(self, row: np.ndarray) -> np.ndarray:
+        node = self._root
+        assert node is not None
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node is not None
+        assert node.value is not None
+        return node.value
+
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        return np.vstack([self._predict_row(row) for row in features])
+
+    def depth(self) -> int:
+        """Actual tree depth after fitting (0 for a single leaf)."""
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

@@ -1,0 +1,77 @@
+"""Offline training pipeline (Section V's "Offline Learning Formulation").
+
+Synthetic benchmarks (phase mixes per Figure 9) paired with synthetic
+graph characteristics (Table III ranges) are swept over the M lattice on
+both accelerators; the best configuration per sample becomes the training
+label.  The paper runs "several million" hardware combinations over hours;
+the simulator makes each sweep cheap enough that a few hundred samples
+cover the discretized (B, I) grid (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.simulator import simulate
+from repro.core.database import TrainingDatabase
+from repro.core.encoding import encode_config, encode_features
+from repro.machine.space import iter_configs
+from repro.machine.specs import AcceleratorSpec
+from repro.workload.profile import build_profile, footprint_for
+from repro.workload.synthetic import SyntheticSample, generate_samples
+
+__all__ = ["label_sample", "build_training_database"]
+
+
+def label_sample(
+    sample: SyntheticSample,
+    gpu: AcceleratorSpec,
+    multicore: AcceleratorSpec,
+    *,
+    metric: str = "time",
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Auto-tune one synthetic sample; returns (features, target, best).
+
+    The full lattice on both accelerators is swept (the OpenTuner role)
+    and the winning configuration is encoded as the label.
+    """
+    graph = sample.graph
+    profile = build_profile(
+        sample.trace,
+        sample.bvars,
+        target_vertices=graph.num_vertices,
+        target_edges=graph.num_edges,
+        source_vertices=graph.num_vertices,
+        source_edges=graph.num_edges,
+    )
+    best_result = None
+    best_value = float("inf")
+    for spec in (gpu, multicore):
+        for config in iter_configs(spec):
+            result = simulate(profile, spec, config)
+            value = result.objective(metric)
+            if value < best_value:
+                best_value = value
+                best_result = result
+    assert best_result is not None
+    features = encode_features(sample.bvars, sample.ivars)
+    target = encode_config(best_result.config, gpu, multicore)
+    return features, target, best_value
+
+
+def build_training_database(
+    gpu: AcceleratorSpec,
+    multicore: AcceleratorSpec,
+    *,
+    num_samples: int = 400,
+    metric: str = "time",
+    seed: int = 0,
+) -> TrainingDatabase:
+    """Generate, auto-tune, and collect the offline database."""
+    database = TrainingDatabase(pair=(gpu.name, multicore.name), metric=metric)
+    for sample in generate_samples(num_samples, seed=seed):
+        features, target, best = label_sample(
+            sample, gpu, multicore, metric=metric
+        )
+        database.add(features, target, best)
+    return database

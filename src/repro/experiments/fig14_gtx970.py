@@ -1,0 +1,22 @@
+"""Figure 14: the stronger GTX-970 pair.
+
+Relearns HeteroMap for the (GTX-970, Xeon Phi 7120P) pair ("machine
+learning models are re-learned for this architectural change") and
+regenerates the Figure 11 grid against the new GPU.  The paper's shape:
+benchmark trends match the smaller GPU, but the stronger GPU wins more
+combinations (14% HeteroMap gain over GPU-only, 3.8x over Phi-only) —
+both margins move *toward* the GPU relative to the GTX-750Ti pair.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig11_scheduler import Fig11Result, render, run_experiment as _run
+
+__all__ = ["run_experiment", "render"]
+
+PAIR = ("gtx970", "xeonphi7120p")
+
+
+def run_experiment(*, predictor: str = "deep128", **kwargs) -> Fig11Result:
+    """The Figure 11 grid on the GTX-970 pair."""
+    return _run(pair=PAIR, predictor=predictor, **kwargs)

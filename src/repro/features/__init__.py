@@ -1,0 +1,34 @@
+"""Feature models: benchmark (B) and input (I) variable extraction."""
+
+from repro.features.bvars import B_LABELS, PHASE_FIELDS, BVariables
+from repro.features.discretize import GRID_STEP, clamp01, log_linear, snap_to_grid
+from repro.features.ivars import (
+    IVariables,
+    ivars_from_characteristics,
+    ivars_from_graph,
+    ivars_from_meta,
+)
+from repro.features.profiles import (
+    BENCHMARK_DISPLAY_NAMES,
+    BENCHMARK_PROFILES,
+    benchmark_names,
+    get_profile,
+)
+
+__all__ = [
+    "B_LABELS",
+    "BENCHMARK_DISPLAY_NAMES",
+    "BENCHMARK_PROFILES",
+    "BVariables",
+    "GRID_STEP",
+    "IVariables",
+    "PHASE_FIELDS",
+    "benchmark_names",
+    "clamp01",
+    "get_profile",
+    "ivars_from_characteristics",
+    "ivars_from_graph",
+    "ivars_from_meta",
+    "log_linear",
+    "snap_to_grid",
+]

@@ -1,0 +1,104 @@
+"""Benchmark (B) variables — Section III-C of the paper.
+
+Thirteen variables describe a graph benchmark's structure, all on the
+[0, 1] grid with 0.1 increments:
+
+Vertex processing & scheduling (mutually exclusive phase shares, sum to 1):
+    B1 vertex division, B2 pareto fronts, B3 dynamic pareto division,
+    B4 push-pop, B5 reductions.
+Compute type:
+    B6 share of data needing floating point.
+Memory access patterns:
+    B7 data/loop-index addressed share, B8 indirect (double-pointer) share.
+Data movement:
+    B9 read-only shared, B10 read-write shared, B11 locally accessed.
+Synchronization:
+    B12 contended (atomically updated) data share,
+    B13 barriers per iteration (each barrier contributes 0.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+
+from repro.errors import FeatureError
+from repro.features.discretize import snap_to_grid
+
+__all__ = ["BVariables", "B_LABELS", "PHASE_FIELDS"]
+
+B_LABELS = tuple(f"B{i}" for i in range(1, 14))
+PHASE_FIELDS = ("b1", "b2", "b3", "b4", "b5")
+
+
+@dataclass(frozen=True)
+class BVariables:
+    """Discretized benchmark variables B1–B13.
+
+    Raises:
+        FeatureError: when any value leaves [0, 1] or the phase shares
+            B1–B5 do not sum to 1 (the paper: "values for B1-5 variables
+            for phases add to 1 for all benchmarks").
+    """
+
+    b1: float = 0.0
+    b2: float = 0.0
+    b3: float = 0.0
+    b4: float = 0.0
+    b5: float = 0.0
+    b6: float = 0.0
+    b7: float = 0.0
+    b8: float = 0.0
+    b9: float = 0.0
+    b10: float = 0.0
+    b11: float = 0.0
+    b12: float = 0.0
+    b13: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if not 0.0 <= value <= 1.0:
+                raise FeatureError(
+                    f"{field.name.upper()} = {value} outside [0, 1]"
+                )
+        phase_total = sum(getattr(self, name) for name in PHASE_FIELDS)
+        if not math.isclose(phase_total, 1.0, abs_tol=1e-9):
+            raise FeatureError(
+                f"phase shares B1-B5 must sum to 1, got {phase_total}"
+            )
+
+    def as_dict(self) -> dict[str, float]:
+        """Mapping of label (``"B1"``..) to value, in order."""
+        return {
+            label: getattr(self, label.lower())
+            for label in B_LABELS
+        }
+
+    def as_vector(self) -> list[float]:
+        """Values ordered B1..B13 for feature-vector assembly."""
+        return list(self.as_dict().values())
+
+    def used_variables(self) -> tuple[str, ...]:
+        """Labels of variables with non-zero value (Figure 5's ✓ marks)."""
+        return tuple(
+            label for label, value in self.as_dict().items() if value > 0
+        )
+
+    def snapped(self) -> "BVariables":
+        """Copy with every value snapped to the 0.1 grid.
+
+        Snapping can break the B1–B5 sum invariant (e.g. three 0.33 phases);
+        the largest phase absorbs the rounding remainder, mirroring how a
+        programmer would round the dominant phase last.
+        """
+        values = {
+            name: snap_to_grid(getattr(self, name))
+            for name in (f.name for f in fields(self))
+        }
+        phase_total = sum(values[name] for name in PHASE_FIELDS)
+        remainder = round(1.0 - phase_total, 10)
+        if remainder:
+            dominant = max(PHASE_FIELDS, key=lambda name: values[name])
+            values[dominant] = round(values[dominant] + remainder, 10)
+        return BVariables(**values)

@@ -1,0 +1,63 @@
+"""Discretization helpers shared by the B/I feature models.
+
+The paper expresses every benchmark and input variable "within a range of
+0 and 1, with increments of 0.1" and normalizes raw graph characteristics
+logarithmically against the extremes known in the literature.  This module
+holds the grid snapping and the anchored log-linear normalization those
+rules translate to.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import FeatureError
+
+__all__ = ["snap_to_grid", "clamp01", "log_linear", "GRID_STEP"]
+
+GRID_STEP = 0.1
+
+
+def clamp01(value: float) -> float:
+    """Clamp a value into the closed unit interval."""
+    return min(1.0, max(0.0, float(value)))
+
+
+def snap_to_grid(value: float, step: float = GRID_STEP) -> float:
+    """Round ``value`` to the nearest multiple of ``step`` inside [0, 1].
+
+    Raises:
+        FeatureError: for non-positive steps.
+    """
+    if step <= 0:
+        raise FeatureError("grid step must be positive")
+    snapped = round(clamp01(value) / step) * step
+    # Avoid 0.30000000000000004-style artifacts in reports and comparisons.
+    return round(min(1.0, snapped), 10)
+
+
+def log_linear(
+    value: float,
+    anchor_low: tuple[float, float],
+    anchor_high: tuple[float, float],
+) -> float:
+    """Map ``value`` through a log-linear ramp fixed by two anchor points.
+
+    ``anchor_low = (raw_lo, out_lo)`` and ``anchor_high = (raw_hi, out_hi)``
+    define the line ``out = a * log10(raw) + b``; results are clamped to
+    [0, 1].  This is how Figure 4's discretizations are reproduced: e.g.
+    vertex counts are anchored so USA-Cal (1.9M) maps to 0.1 and Friendster
+    (65.6M) maps to 0.8, matching the paper's worked example.
+
+    Raises:
+        FeatureError: when anchors are non-positive or coincide.
+    """
+    (raw_lo, out_lo), (raw_hi, out_hi) = anchor_low, anchor_high
+    if raw_lo <= 0 or raw_hi <= 0:
+        raise FeatureError("log-linear anchors need positive raw values")
+    if math.isclose(raw_lo, raw_hi):
+        raise FeatureError("log-linear anchors must differ")
+    if value <= 0:
+        return clamp01(min(out_lo, out_hi))
+    slope = (out_hi - out_lo) / (math.log10(raw_hi) - math.log10(raw_lo))
+    return clamp01(out_lo + slope * (math.log10(value) - math.log10(raw_lo)))

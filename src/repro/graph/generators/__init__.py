@@ -1,0 +1,21 @@
+"""Synthetic graph generators (training inputs and dataset proxies)."""
+
+from repro.graph.generators.cage import banded_graph
+from repro.graph.generators.kronecker import kronecker_graph
+from repro.graph.generators.registry import GENERATORS, generator_names, make_graph
+from repro.graph.generators.rgg import random_geometric_graph
+from repro.graph.generators.road import road_network_graph
+from repro.graph.generators.social import social_network_graph
+from repro.graph.generators.uniform import uniform_random_graph
+
+__all__ = [
+    "GENERATORS",
+    "banded_graph",
+    "generator_names",
+    "kronecker_graph",
+    "make_graph",
+    "random_geometric_graph",
+    "road_network_graph",
+    "social_network_graph",
+    "uniform_random_graph",
+]

@@ -1,0 +1,50 @@
+"""Name-keyed registry of graph generators.
+
+The training pipeline and dataset proxies refer to generator families by
+string name ("uniform", "kronecker", ...); this registry resolves those
+names so new families can be plugged in without touching callers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators.cage import banded_graph
+from repro.graph.generators.kronecker import kronecker_graph
+from repro.graph.generators.rgg import random_geometric_graph
+from repro.graph.generators.road import road_network_graph
+from repro.graph.generators.social import social_network_graph
+from repro.graph.generators.uniform import uniform_random_graph
+
+__all__ = ["GENERATORS", "make_graph", "generator_names"]
+
+GENERATORS: dict[str, Callable[..., CSRGraph]] = {
+    "uniform": uniform_random_graph,
+    "kronecker": kronecker_graph,
+    "road": road_network_graph,
+    "social": social_network_graph,
+    "rgg": random_geometric_graph,
+    "cage": banded_graph,
+}
+
+
+def generator_names() -> list[str]:
+    """Sorted list of registered generator family names."""
+    return sorted(GENERATORS)
+
+
+def make_graph(family: str, /, **kwargs) -> CSRGraph:
+    """Instantiate a graph from the named generator family.
+
+    Raises:
+        GraphError: when the family name is unknown.
+    """
+    try:
+        generator = GENERATORS[family]
+    except KeyError:
+        raise GraphError(
+            f"unknown generator family {family!r}; known: {generator_names()}"
+        ) from None
+    return generator(**kwargs)

@@ -1,0 +1,78 @@
+"""Road-network-like generator: high diameter, near-constant low degree.
+
+Proxy for the DIMACS road inputs (USA-Cal in Table I).  Real road networks
+are close to planar grids with sparse diagonal shortcuts, giving diameters
+in the hundreds-to-thousands and maximum degrees around 4-12 — exactly the
+regime where the paper's multicore wins SSSP (Figure 1).  We build a 2-D
+grid with bidirectional street segments, randomly delete a small fraction of
+segments (dead ends), and add a few long-range "highway" edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builders import from_edge_array
+from repro.graph.csr import CSRGraph
+
+__all__ = ["road_network_graph"]
+
+
+def road_network_graph(
+    width: int,
+    height: int,
+    *,
+    removal_fraction: float = 0.05,
+    highway_fraction: float = 0.002,
+    seed: int = 0,
+    name: str | None = None,
+) -> CSRGraph:
+    """Generate a road-like grid network with ``width * height`` vertices.
+
+    Args:
+        width: grid columns; must be positive.
+        height: grid rows; must be positive.
+        removal_fraction: fraction of street segments deleted to create
+            dead ends and detours (raises effective diameter).
+        highway_fraction: long-range shortcut edges added, as a fraction of
+            vertex count.
+        seed: PRNG seed.
+        name: graph identifier.
+
+    Raises:
+        GraphError: on non-positive dimensions or out-of-range fractions.
+    """
+    if width <= 0 or height <= 0:
+        raise GraphError("grid dimensions must be positive")
+    if not 0.0 <= removal_fraction < 1.0:
+        raise GraphError("removal_fraction must be in [0, 1)")
+    if highway_fraction < 0:
+        raise GraphError("highway_fraction must be non-negative")
+
+    rng = np.random.default_rng(seed)
+    ids = np.arange(width * height, dtype=np.int64).reshape(height, width)
+    horizontal = np.column_stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()])
+    vertical = np.column_stack([ids[:-1, :].ravel(), ids[1:, :].ravel()])
+    segments = np.vstack([horizontal, vertical])
+    keep = rng.random(segments.shape[0]) >= removal_fraction
+    segments = segments[keep]
+
+    num_vertices = width * height
+    num_highways = int(round(highway_fraction * num_vertices))
+    if num_highways:
+        highways = rng.integers(0, num_vertices, size=(num_highways, 2), dtype=np.int64)
+        segments = np.vstack([segments, highways])
+
+    # Streets are two-way; weights model segment lengths in the DIMACS style.
+    edges = np.vstack([segments, segments[:, ::-1]])
+    lengths = rng.integers(1, 64, size=segments.shape[0]).astype(np.float64)
+    weights = np.concatenate([lengths, lengths])
+    return from_edge_array(
+        num_vertices,
+        edges,
+        weights,
+        name=name or f"road-{width}x{height}-s{seed}",
+        dedupe=True,
+        drop_self_loops=True,
+    )

@@ -1,0 +1,79 @@
+"""Structural graph statistics feeding the I-variable extraction.
+
+The paper's input model (Section III-B) needs four raw characteristics per
+graph: vertex count (I1), edge density (I2), maximum degree (I3), and
+diameter (I4).  This module computes the first three plus auxiliary
+statistics used by the cost model (degree skew, locality estimates);
+diameter lives in :mod:`repro.graph.diameter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphStats", "compute_stats", "degree_histogram", "gini_coefficient"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Raw structural characteristics of a graph.
+
+    Attributes:
+        num_vertices: vertex count (paper's ``#V``).
+        num_edges: directed edge count (paper's ``#E``).
+        max_degree: largest out-degree (paper's ``Max.Deg``).
+        avg_degree: mean out-degree (``#E / #V``).
+        degree_gini: Gini coefficient of the out-degree distribution; 0 for
+            perfectly regular graphs, near 1 for extreme hubs.  Used by the
+            cost model as a work-divergence proxy.
+        isolated_fraction: fraction of vertices with no outgoing edges.
+    """
+
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    avg_degree: float
+    degree_gini: float
+    isolated_fraction: float
+
+
+def compute_stats(graph: CSRGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph`` in a single pass."""
+    degrees = np.asarray(graph.out_degree())
+    num_vertices = graph.num_vertices
+    num_edges = graph.num_edges
+    if num_vertices == 0:
+        return GraphStats(0, 0, 0, 0.0, 0.0, 0.0)
+    return GraphStats(
+        num_vertices=num_vertices,
+        num_edges=num_edges,
+        max_degree=int(degrees.max()) if degrees.size else 0,
+        avg_degree=num_edges / num_vertices,
+        degree_gini=gini_coefficient(degrees),
+        isolated_fraction=float(np.count_nonzero(degrees == 0)) / num_vertices,
+    )
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """Counts of vertices per out-degree; index ``d`` holds ``#{v: deg v = d}``."""
+    degrees = np.asarray(graph.out_degree())
+    if degrees.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degrees)
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample; 0 when all values equal."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    if values.size == 0:
+        return 0.0
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    n = values.size
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return float((2.0 * np.dot(ranks, values) / (n * total)) - (n + 1) / n)

@@ -1,0 +1,31 @@
+"""Instrumented graph benchmark kernels (the paper's nine workloads)."""
+
+from repro.kernels.base import Kernel, KernelResult, graph_skew
+from repro.kernels.bfs import BreadthFirstSearch
+from repro.kernels.community import CommunityDetection
+from repro.kernels.connected_components import ConnectedComponents
+from repro.kernels.dfs import DepthFirstSearch
+from repro.kernels.pagerank import PageRank
+from repro.kernels.pagerank_dp import PageRankDelta
+from repro.kernels.registry import KERNELS, get_kernel, kernel_names
+from repro.kernels.sssp_bf import SsspBellmanFord
+from repro.kernels.sssp_delta import SsspDeltaStepping
+from repro.kernels.triangle_counting import TriangleCounting
+
+__all__ = [
+    "BreadthFirstSearch",
+    "CommunityDetection",
+    "ConnectedComponents",
+    "DepthFirstSearch",
+    "KERNELS",
+    "Kernel",
+    "KernelResult",
+    "PageRank",
+    "PageRankDelta",
+    "SsspBellmanFord",
+    "SsspDeltaStepping",
+    "TriangleCounting",
+    "get_kernel",
+    "graph_skew",
+    "kernel_names",
+]

@@ -1,0 +1,63 @@
+"""Kernel infrastructure: result types and the abstract base class.
+
+Every benchmark kernel is a real, correct NumPy implementation of its graph
+algorithm that *also* records the structural event counts (per-phase items,
+edge traversals, peak parallelism, iteration count) the performance model
+consumes.  The algorithms match the paper's benchmark suites: SSSP-BF and
+friends follow CRONO's data-parallel formulations, SSSP-Delta follows the
+GAP Δ-stepping structure.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import compute_stats
+from repro.workload.profile import KernelTrace
+
+__all__ = ["KernelResult", "Kernel", "graph_skew"]
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Output of one kernel run.
+
+    Attributes:
+        output: algorithm result (distances, ranks, labels, a count, ...).
+        trace: structural event counts for the performance model.
+        stats: free-form diagnostic numbers (iterations, frontier peaks).
+    """
+
+    output: Any
+    trace: KernelTrace
+    stats: dict[str, float] = field(default_factory=dict)
+
+
+def graph_skew(graph: CSRGraph) -> float:
+    """Work-divergence proxy: Gini coefficient of the degree distribution."""
+    return compute_stats(graph).degree_gini
+
+
+class Kernel(abc.ABC):
+    """Abstract graph benchmark.
+
+    Subclasses set :attr:`name` (the canonical benchmark key matching
+    :mod:`repro.features.profiles`) and implement :meth:`run`.
+    """
+
+    #: canonical benchmark key, e.g. ``"sssp_bf"``.
+    name: str = ""
+
+    @abc.abstractmethod
+    def run(self, graph: CSRGraph, **params: Any) -> KernelResult:
+        """Execute the algorithm on ``graph`` and return result + trace."""
+
+    def trace_only(self, graph: CSRGraph, **params: Any) -> KernelTrace:
+        """Convenience: run and return just the structural trace."""
+        return self.run(graph, **params).trace
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,51 @@
+"""Name-keyed kernel registry (the nine Figure 5 benchmarks)."""
+
+from __future__ import annotations
+
+from repro.errors import UnknownBenchmarkError
+from repro.kernels.base import Kernel
+from repro.kernels.bfs import BreadthFirstSearch
+from repro.kernels.community import CommunityDetection
+from repro.kernels.connected_components import ConnectedComponents
+from repro.kernels.dfs import DepthFirstSearch
+from repro.kernels.pagerank import PageRank
+from repro.kernels.pagerank_dp import PageRankDelta
+from repro.kernels.sssp_bf import SsspBellmanFord
+from repro.kernels.sssp_delta import SsspDeltaStepping
+from repro.kernels.triangle_counting import TriangleCounting
+
+__all__ = ["KERNELS", "kernel_names", "get_kernel"]
+
+KERNELS: dict[str, type[Kernel]] = {
+    cls.name: cls
+    for cls in [
+        SsspBellmanFord,
+        SsspDeltaStepping,
+        BreadthFirstSearch,
+        DepthFirstSearch,
+        PageRank,
+        PageRankDelta,
+        TriangleCounting,
+        CommunityDetection,
+        ConnectedComponents,
+    ]
+}
+
+
+def kernel_names() -> list[str]:
+    """Canonical benchmark keys, in the paper's Figure 5 order."""
+    return list(KERNELS)
+
+
+def get_kernel(name: str) -> Kernel:
+    """Instantiate a kernel by canonical name.
+
+    Raises:
+        UnknownBenchmarkError: when the name is not registered.
+    """
+    key = name.lower().replace("-", "_").replace(".", "").replace(" ", "_")
+    if key not in KERNELS:
+        raise UnknownBenchmarkError(
+            f"unknown benchmark {name!r}; known: {kernel_names()}"
+        )
+    return KERNELS[key]()

@@ -1,0 +1,281 @@
+"""Accelerator specifications (Table II and Section VI-A of the paper).
+
+Each :class:`AcceleratorSpec` captures the architectural properties the
+paper's analysis leans on: thread/core counts, cache size and coherence,
+memory size/bandwidth, single/double-precision throughput, and the derived
+micro-cost parameters (atomic cost, barrier cost, divergence penalty) that
+differentiate GPUs from multicores in the cost model.
+
+Four machines are modelled:
+
+* ``gtx750ti`` — NVidia GTX-750Ti (weaker GPU, Table II),
+* ``gtx970`` — NVidia GTX-970 (stronger GPU, Section VI-A),
+* ``xeonphi7120p`` — Intel Xeon Phi 7120P (weaker multicore, Table II),
+* ``cpu40core`` — 40-core Intel Xeon E5-2650 v3 (stronger multicore).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.errors import UnknownAcceleratorError
+
+__all__ = [
+    "AcceleratorKind",
+    "AcceleratorSpec",
+    "ACCELERATORS",
+    "accelerator_names",
+    "get_accelerator",
+    "with_memory_gb",
+    "DEFAULT_PAIR",
+    "ACCELERATOR_PAIRS",
+]
+
+
+class AcceleratorKind(str, Enum):
+    """GPU vs cache-coherent multicore — the paper's M1 dichotomy."""
+
+    GPU = "gpu"
+    MULTICORE = "multicore"
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """Architectural parameters of one accelerator.
+
+    Attributes:
+        name: registry key.
+        kind: GPU or multicore.
+        cores: physical cores (GPU: CUDA/stream cores; multicore: cores).
+        max_threads: maximum schedulable threads (GPU: resident threads;
+            multicore: cores x hardware threads per core).
+        threads_per_core: hardware threads per multicore core (1 for GPUs,
+            which express threading through M19/M20 instead).
+        clock_ghz: core clock.
+        simd_width: per-core SIMD lanes (multicore vector units; 1 on GPUs
+            where SIMT already covers data parallelism).
+        cache_mb: last-level cache capacity.
+        coherent: hardware cache coherence (drives cheap RW sharing).
+        mem_gb: discrete device memory size (re-configurable; Figure 16).
+        max_mem_gb: largest memory configuration the device supports.
+        mem_bw_gbps: peak memory bandwidth.
+        sp_tflops / dp_tflops: single/double-precision peak throughput.
+        tdp_watts: board power at full utilization.
+        idle_watts: floor power when powered but stalled.
+        atomic_cost_ns: latency of one contended atomic update.
+        barrier_cost_us: cost of one global barrier at full thread count.
+        divergence_penalty: throughput divisor on branch-divergent phases
+            (push-pop / reduction) — large on GPUs, ~1 on multicores.
+        indirect_penalty: extra latency factor for indirect addressing —
+            the paper's "GPUs do not possess the addressing capabilities".
+        latency_hiding: how many resident threads per core the machine
+            needs to hide memory latency (GPU thread switching).
+        stream_bw_gbps: host-to-device streaming bandwidth used when a
+            graph exceeds device memory and must be chunk-streamed
+            (Stinger-style); effectively unlimited for host-attached DDR.
+        ipc: sustained instructions per clock of one core on irregular
+            graph code (in-order Phi cores well below out-of-order Xeons).
+        mem_latency_ns: average memory access latency; with the thread
+            count it bounds how much random-access bandwidth the machine
+            can actually pull (concurrency-limited irregular accesses).
+        mem_efficiency: fraction of peak bandwidth achievable on graph
+            workloads (GPUs coalesce well; the Phi's ring + in-order
+            prefetch notoriously did not).
+    """
+
+    name: str
+    kind: AcceleratorKind
+    cores: int
+    max_threads: int
+    threads_per_core: int
+    clock_ghz: float
+    simd_width: int
+    cache_mb: float
+    coherent: bool
+    mem_gb: float
+    max_mem_gb: float
+    mem_bw_gbps: float
+    sp_tflops: float
+    dp_tflops: float
+    tdp_watts: float
+    idle_watts: float
+    atomic_cost_ns: float
+    barrier_cost_us: float
+    divergence_penalty: float
+    indirect_penalty: float
+    latency_hiding: float
+    stream_bw_gbps: float
+    ipc: float
+    mem_efficiency: float
+    mem_latency_ns: float
+
+    @property
+    def is_gpu(self) -> bool:
+        """True for SIMT GPU accelerators."""
+        return self.kind is AcceleratorKind.GPU
+
+    @property
+    def mem_bytes(self) -> float:
+        """Device memory size in bytes."""
+        return self.mem_gb * 1e9
+
+    @property
+    def cache_bytes(self) -> float:
+        """Last-level cache size in bytes."""
+        return self.cache_mb * 1e6
+
+
+ACCELERATORS: dict[str, AcceleratorSpec] = {
+    spec.name: spec
+    for spec in [
+        AcceleratorSpec(
+            name="gtx750ti",
+            kind=AcceleratorKind.GPU,
+            cores=640,
+            max_threads=10_240,  # 5 SMM x 2048 resident threads
+            threads_per_core=1,
+            clock_ghz=1.3,  # Section VII-D quotes 1.3 GHz
+            simd_width=1,
+            cache_mb=2.0,
+            coherent=False,
+            mem_gb=2.0,
+            max_mem_gb=2.0,
+            mem_bw_gbps=86.0,
+            sp_tflops=1.3,
+            dp_tflops=0.04,
+            tdp_watts=60.0,
+            idle_watts=8.0,
+            atomic_cost_ns=400.0,
+            barrier_cost_us=12.0,
+            divergence_penalty=6.0,
+            indirect_penalty=2.0,
+            latency_hiding=8.0,
+            stream_bw_gbps=12.0,
+            ipc=1.0,
+            mem_efficiency=0.85,
+            mem_latency_ns=400.0,
+        ),
+        AcceleratorSpec(
+            name="gtx970",
+            kind=AcceleratorKind.GPU,
+            cores=1664,
+            max_threads=26_624,  # 13 SMM x 2048 resident threads
+            threads_per_core=1,
+            clock_ghz=1.7,  # Section VII-D quotes 1.7 GHz
+            simd_width=1,
+            cache_mb=4.0,  # larger caches than the 750Ti (Section VII-D)
+            coherent=False,
+            mem_gb=4.0,
+            max_mem_gb=4.0,
+            mem_bw_gbps=224.0,
+            sp_tflops=3.5,
+            dp_tflops=0.1,
+            tdp_watts=145.0,
+            idle_watts=12.0,
+            atomic_cost_ns=300.0,
+            barrier_cost_us=9.0,
+            divergence_penalty=6.0,
+            indirect_penalty=1.5,
+            latency_hiding=8.0,
+            stream_bw_gbps=12.0,
+            ipc=1.0,
+            mem_efficiency=0.85,
+            mem_latency_ns=350.0,
+        ),
+        AcceleratorSpec(
+            name="xeonphi7120p",
+            kind=AcceleratorKind.MULTICORE,
+            cores=61,
+            max_threads=244,
+            threads_per_core=4,
+            clock_ghz=1.238,
+            simd_width=16,  # 512-bit vector units
+            cache_mb=32.0,
+            coherent=True,
+            mem_gb=2.0,  # pinned to the smallest memory (Section VI-A)
+            max_mem_gb=16.0,
+            mem_bw_gbps=352.0,
+            sp_tflops=2.4,
+            dp_tflops=1.2,
+            tdp_watts=300.0,
+            idle_watts=95.0,
+            atomic_cost_ns=60.0,
+            barrier_cost_us=3.0,
+            divergence_penalty=1.2,
+            indirect_penalty=1.4,
+            latency_hiding=2.0,
+            stream_bw_gbps=4.0,
+            ipc=0.8,
+            mem_efficiency=0.18,
+            mem_latency_ns=300.0,
+        ),
+        AcceleratorSpec(
+            name="cpu40core",
+            kind=AcceleratorKind.MULTICORE,
+            cores=40,
+            max_threads=80,  # hyper-threaded
+            threads_per_core=2,
+            clock_ghz=2.3,
+            simd_width=8,  # AVX2, 256-bit
+            cache_mb=50.0,  # 25 MB LLC x 4 sockets; graph sharing only
+            # effectively spans ~2 sockets before NUMA costs dominate
+            coherent=True,
+            mem_gb=2.0,  # pinned to match the GPU pair by default
+            max_mem_gb=1024.0,  # 1 TB DDR4 (Section VI-A)
+            mem_bw_gbps=272.0,  # 4 sockets x 68 GB/s
+            sp_tflops=1.5,
+            dp_tflops=0.74,
+            tdp_watts=420.0,  # 4 x 105 W sockets
+            idle_watts=120.0,
+            atomic_cost_ns=80.0,  # cross-socket coherence round trips
+            barrier_cost_us=5.0,  # 4-socket rendezvous
+            divergence_penalty=1.3,
+            indirect_penalty=1.3,
+            latency_hiding=1.5,
+            stream_bw_gbps=12.0,
+            ipc=1.2,
+            mem_efficiency=0.28,
+            mem_latency_ns=150.0,  # NUMA-average load latency
+        ),
+    ]
+}
+
+DEFAULT_PAIR = ("gtx750ti", "xeonphi7120p")
+
+# All multicore-GPU combination pairs considered in Section II.
+ACCELERATOR_PAIRS = [
+    ("gtx750ti", "xeonphi7120p"),
+    ("gtx970", "xeonphi7120p"),
+    ("gtx750ti", "cpu40core"),
+    ("gtx970", "cpu40core"),
+]
+
+
+def accelerator_names() -> list[str]:
+    """Sorted registry keys."""
+    return sorted(ACCELERATORS)
+
+
+def get_accelerator(name: str) -> AcceleratorSpec:
+    """Look up a spec by name (case-insensitive).
+
+    Raises:
+        UnknownAcceleratorError: when the name is not registered.
+    """
+    key = name.lower().replace("-", "").replace("_", "")
+    if key in ACCELERATORS:
+        return ACCELERATORS[key]
+    raise UnknownAcceleratorError(
+        f"unknown accelerator {name!r}; known: {accelerator_names()}"
+    )
+
+
+def with_memory_gb(spec: AcceleratorSpec, mem_gb: float) -> AcceleratorSpec:
+    """Copy of ``spec`` reconfigured to a different memory size.
+
+    Used by the Figure 16 sensitivity study; the size is clamped to the
+    device's supported maximum and floored at 1 GB.
+    """
+    clamped = max(1.0, min(float(mem_gb), spec.max_mem_gb))
+    return replace(spec, mem_gb=clamped)

@@ -1,0 +1,22 @@
+"""Runtime: workload deployment, trace caching, chunked streaming."""
+
+from repro.runtime.deploy import Workload, prepare_workload, run_workload
+from repro.runtime.streaming import (
+    StreamingRunResult,
+    streaming_degree_sum,
+    streaming_sssp_bf,
+)
+from repro.runtime.trace_cache import cache_dir, clear_cache, load_trace, store_trace
+
+__all__ = [
+    "StreamingRunResult",
+    "Workload",
+    "cache_dir",
+    "clear_cache",
+    "load_trace",
+    "prepare_workload",
+    "run_workload",
+    "store_trace",
+    "streaming_degree_sum",
+    "streaming_sssp_bf",
+]

@@ -1,0 +1,112 @@
+"""Deployment: benchmark + dataset → workload profile → simulation.
+
+This is the bridge the whole evaluation stands on.  For a (benchmark,
+dataset) pair it:
+
+1. loads the dataset's structural proxy graph and runs the real kernel on
+   it (memoised via the trace cache),
+2. scales the measured trace to the dataset's *published* Table I
+   characteristics (vertex/edge counts linearly; iteration-dependent work
+   by the diameter ratio, per kernel semantics),
+3. produces the :class:`WorkloadProfile` that
+   :func:`repro.accel.simulate` consumes for any (accelerator, M-config).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.simulator import SimulationResult, simulate
+from repro.features.bvars import BVariables
+from repro.features.ivars import IVariables, ivars_from_meta
+from repro.features.profiles import get_profile
+from repro.graph.datasets import get_dataset, load_proxy_graph
+from repro.graph.diameter import approximate_diameter
+from repro.graph.properties import compute_stats
+from repro.kernels.registry import get_kernel
+from repro.machine.mvars import MachineConfig
+from repro.machine.specs import AcceleratorSpec
+from repro.runtime.trace_cache import load_trace, store_trace
+from repro.workload.profile import WorkloadProfile, build_profile
+
+__all__ = ["Workload", "prepare_workload", "run_workload"]
+
+# Bump when kernel instrumentation changes so stale cached traces are
+# regenerated rather than silently reused.
+_TRACE_VERSION = 2
+
+# Kernels whose per-iteration work covers the whole graph: total work (not
+# just per-iteration overhead) grows with the iteration count, which the
+# diameter drives.  Frontier kernels touch each edge a bounded number of
+# times no matter the depth, so only their overheads scale.
+_WORK_SCALES_WITH_DEPTH = {"sssp_bf", "connected_components"}
+_OVERHEAD_SCALES_WITH_DEPTH = {"sssp_bf", "connected_components", "bfs", "sssp_delta"}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A fully prepared benchmark-input combination."""
+
+    benchmark: str
+    dataset: str
+    bvars: BVariables
+    ivars: IVariables
+    profile: WorkloadProfile
+
+
+def _proxy_trace(benchmark: str, dataset: str):
+    """Run (or recall) the kernel on the dataset proxy graph."""
+    key = f"trace-{_TRACE_VERSION}-{benchmark}-{dataset}"
+    cached = load_trace(key)
+    if cached is not None:
+        return cached
+    graph = load_proxy_graph(dataset)
+    trace = get_kernel(benchmark).run(graph).trace
+    store_trace(key, trace)
+    return trace
+
+
+def prepare_workload(benchmark: str, dataset: str) -> Workload:
+    """Build the scaled workload for a benchmark-input combination.
+
+    Raises:
+        UnknownBenchmarkError / UnknownDatasetError: on bad names.
+    """
+    spec = get_dataset(dataset)
+    graph = load_proxy_graph(spec.name)
+    stats = compute_stats(graph)
+    trace = _proxy_trace(benchmark, spec.name)
+
+    proxy_diameter = max(1, approximate_diameter(graph, num_sweeps=2, seed=1))
+    depth_ratio = max(0.25, spec.paper.diameter / proxy_diameter)
+    kernel_key = trace.benchmark
+    work_scale = depth_ratio if kernel_key in _WORK_SCALES_WITH_DEPTH else 1.0
+    overhead_scale = (
+        depth_ratio if kernel_key in _OVERHEAD_SCALES_WITH_DEPTH else 1.0
+    )
+
+    bvars = get_profile(benchmark)
+    profile = build_profile(
+        trace,
+        bvars,
+        target_vertices=float(spec.paper.num_vertices),
+        target_edges=float(spec.paper.num_edges),
+        source_vertices=float(stats.num_vertices),
+        source_edges=float(max(stats.num_edges, 1)),
+        work_iteration_scale=work_scale,
+        overhead_iteration_scale=overhead_scale,
+    )
+    return Workload(
+        benchmark=trace.benchmark,
+        dataset=spec.name,
+        bvars=bvars,
+        ivars=ivars_from_meta(spec.paper),
+        profile=profile,
+    )
+
+
+def run_workload(
+    workload: Workload, spec: AcceleratorSpec, config: MachineConfig
+) -> SimulationResult:
+    """Deploy a prepared workload on one accelerator configuration."""
+    return simulate(workload.profile, spec, config)

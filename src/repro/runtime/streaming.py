@@ -1,0 +1,108 @@
+"""Chunked streaming execution (the Stinger-based path of Section II).
+
+When a graph exceeds an accelerator's discrete memory, the runtime streams
+vertex-range chunks through device memory and processes them one at a time
+against a globally shared state array.  This module implements that
+execution style for the relaxation-type kernels, providing a functional
+(correct-output) demonstration that chunked processing converges to the
+whole-graph result, plus the chunk-count bookkeeping the cost model's
+streaming term represents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.chunking import iter_chunks, plan_chunks
+from repro.graph.csr import CSRGraph
+
+__all__ = ["StreamingRunResult", "streaming_sssp_bf", "streaming_degree_sum"]
+
+
+@dataclass(frozen=True)
+class StreamingRunResult:
+    """Outcome of a chunk-streamed kernel execution."""
+
+    output: np.ndarray
+    num_chunks: int
+    iterations: int
+    chunk_loads: int  # total chunk transfers into device memory
+
+
+def streaming_sssp_bf(
+    graph: CSRGraph,
+    budget_bytes: int,
+    source: int = 0,
+    max_iterations: int | None = None,
+) -> StreamingRunResult:
+    """Bellman-Ford with the edge set streamed in memory-budget chunks.
+
+    Every iteration streams each chunk into the (simulated) device memory
+    and relaxes only that chunk's edges against the global distance array —
+    exactly the spatiotemporal chunk processing of Section II.  The result
+    matches whole-graph Bellman-Ford.
+
+    Raises:
+        GraphError: for an out-of-range source or non-positive budget.
+    """
+    if not 0 <= source < graph.num_vertices:
+        raise GraphError(f"source {source} out of range")
+    if max_iterations is None:
+        max_iterations = max(1, graph.num_vertices)
+
+    ranges = plan_chunks(graph, budget_bytes)
+    dist = np.full(graph.num_vertices, np.inf)
+    dist[source] = 0.0
+
+    chunk_loads = 0
+    iterations = 0
+    for _ in range(max_iterations):
+        iterations += 1
+        changed = False
+        for chunk in iter_chunks(graph, budget_bytes):
+            chunk_loads += 1
+            sub = chunk.subgraph
+            local_edges = sub.edges()
+            if local_edges.size == 0:
+                continue
+            sources = local_edges[:, 0] + chunk.vertex_start
+            dests = local_edges[:, 1]
+            candidate = dist[sources] + sub.weights
+            old = dist[dests].copy()
+            np.minimum.at(dist, dests, candidate)
+            if np.any(dist[dests] < old):
+                changed = True
+        if not changed:
+            break
+
+    return StreamingRunResult(
+        output=dist,
+        num_chunks=len(ranges),
+        iterations=iterations,
+        chunk_loads=chunk_loads,
+    )
+
+
+def streaming_degree_sum(graph: CSRGraph, budget_bytes: int) -> StreamingRunResult:
+    """Single-pass chunked aggregate (per-vertex out-degree), exercising
+    the streaming plumbing for non-iterative analytics."""
+    degrees = np.zeros(graph.num_vertices, dtype=np.int64)
+    chunk_loads = 0
+    num_chunks = 0
+    for chunk in iter_chunks(graph, budget_bytes):
+        chunk_loads += 1
+        num_chunks += 1
+        sub = chunk.subgraph
+        owned = np.diff(
+            sub.indptr[: chunk.num_owned_vertices + 1]
+        )
+        degrees[chunk.vertex_start : chunk.vertex_stop] = owned
+    return StreamingRunResult(
+        output=degrees,
+        num_chunks=num_chunks,
+        iterations=1,
+        chunk_loads=chunk_loads,
+    )

@@ -1,0 +1,103 @@
+"""On-disk cache of kernel traces.
+
+Experiments run the same (benchmark, dataset) kernel pairs repeatedly —
+across pytest processes, benchmark processes, and example scripts.  Kernel
+runs on the proxy graphs take seconds each, so traces are memoised to JSON
+under a cache directory (``REPRO_CACHE_DIR`` env var, defaulting to
+``.repro_cache`` in the working directory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.workload.phases import PhaseKind
+from repro.workload.profile import KernelTrace, PhaseTrace
+
+__all__ = ["cache_dir", "load_trace", "store_trace", "clear_cache"]
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+_memory_cache: dict[str, KernelTrace] = {}
+
+
+def cache_dir() -> Path:
+    """Resolve (and create) the cache directory."""
+    root = Path(os.environ.get(_ENV_VAR, ".repro_cache"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def _key_path(key: str) -> Path:
+    safe = key.replace("/", "_").replace(os.sep, "_")
+    return cache_dir() / f"{safe}.json"
+
+
+def _trace_to_dict(trace: KernelTrace) -> dict:
+    return {
+        "benchmark": trace.benchmark,
+        "graph_name": trace.graph_name,
+        "num_iterations": trace.num_iterations,
+        "phases": [
+            {
+                "kind": phase.kind.value,
+                "items": phase.items,
+                "edges": phase.edges,
+                "max_parallelism": phase.max_parallelism,
+                "work_skew": phase.work_skew,
+            }
+            for phase in trace.phases
+        ],
+    }
+
+
+def _trace_from_dict(payload: dict) -> KernelTrace:
+    return KernelTrace(
+        benchmark=payload["benchmark"],
+        graph_name=payload["graph_name"],
+        num_iterations=int(payload["num_iterations"]),
+        phases=tuple(
+            PhaseTrace(
+                kind=PhaseKind(entry["kind"]),
+                items=float(entry["items"]),
+                edges=float(entry["edges"]),
+                max_parallelism=float(entry["max_parallelism"]),
+                work_skew=float(entry["work_skew"]),
+            )
+            for entry in payload["phases"]
+        ),
+    )
+
+
+def load_trace(key: str) -> KernelTrace | None:
+    """Fetch a cached trace, or None on miss/corruption."""
+    if key in _memory_cache:
+        return _memory_cache[key]
+    path = _key_path(key)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        trace = _trace_from_dict(payload)
+    except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+        # A corrupt cache entry is just a miss; it will be regenerated.
+        return None
+    _memory_cache[key] = trace
+    return trace
+
+
+def store_trace(key: str, trace: KernelTrace) -> None:
+    """Persist a trace under ``key`` (memory + disk)."""
+    _memory_cache[key] = trace
+    _key_path(key).write_text(
+        json.dumps(_trace_to_dict(trace)), encoding="utf-8"
+    )
+
+
+def clear_cache() -> None:
+    """Drop every cached trace (memory and disk)."""
+    _memory_cache.clear()
+    root = cache_dir()
+    for path in root.glob("*.json"):
+        path.unlink()

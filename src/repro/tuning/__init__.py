@@ -1,0 +1,6 @@
+"""Offline tuning: exhaustive lattice sweep and hill-climb search."""
+
+from repro.tuning.exhaustive import best_on_accelerator, best_on_pair, sweep
+from repro.tuning.search import hill_climb
+
+__all__ = ["best_on_accelerator", "best_on_pair", "hill_climb", "sweep"]

@@ -1,0 +1,59 @@
+"""Exhaustive M-lattice sweep — the "ideal" oracle baseline.
+
+The paper's ideal case "manually optimizes by running all possible
+configurations"; here the lattice is small enough to sweep outright, so
+the oracle is the true lattice optimum for a workload on an accelerator
+pair.  The same sweep labels the training database.
+"""
+
+from __future__ import annotations
+
+from repro.accel.simulator import SimulationResult, simulate
+from repro.machine.space import iter_configs
+from repro.machine.specs import AcceleratorSpec
+from repro.workload.profile import WorkloadProfile
+
+__all__ = ["best_on_accelerator", "best_on_pair", "sweep"]
+
+
+def sweep(
+    profile: WorkloadProfile,
+    spec: AcceleratorSpec,
+    *,
+    metric: str = "time",
+) -> list[SimulationResult]:
+    """Simulate every lattice configuration on ``spec``; results are in
+    lattice order (stable for reproducibility)."""
+    return [simulate(profile, spec, config) for config in iter_configs(spec)]
+
+
+def best_on_accelerator(
+    profile: WorkloadProfile,
+    spec: AcceleratorSpec,
+    *,
+    metric: str = "time",
+) -> SimulationResult:
+    """Best lattice point on one accelerator for the given objective."""
+    best: SimulationResult | None = None
+    best_value = float("inf")
+    for config in iter_configs(spec):
+        result = simulate(profile, spec, config)
+        value = result.objective(metric)
+        if value < best_value:
+            best_value = value
+            best = result
+    assert best is not None  # lattice is never empty
+    return best
+
+
+def best_on_pair(
+    profile: WorkloadProfile,
+    specs: tuple[AcceleratorSpec, AcceleratorSpec],
+    *,
+    metric: str = "time",
+) -> SimulationResult:
+    """Best lattice point across both accelerators (the oracle's M1+M*)."""
+    candidates = [
+        best_on_accelerator(profile, spec, metric=metric) for spec in specs
+    ]
+    return min(candidates, key=lambda result: result.objective(metric))

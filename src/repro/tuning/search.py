@@ -1,0 +1,83 @@
+"""OpenTuner-style randomized hill climbing over the M lattice.
+
+The paper auto-tunes its offline training runs with OpenTuner.  This
+module provides the equivalent anytime search: random restarts plus
+steepest-neighbor descent on the discrete lattice, converging to the same
+optima as the exhaustive sweep at a fraction of the evaluations — used
+when the lattice (or the budget) grows beyond exhaustive reach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.simulator import SimulationResult, simulate
+from repro.machine.mvars import MachineConfig
+from repro.machine.space import iter_configs
+from repro.machine.specs import AcceleratorSpec
+from repro.workload.profile import WorkloadProfile
+
+__all__ = ["hill_climb"]
+
+
+def _neighbors(index: int, lattice_len: int, rng: np.random.Generator, k: int) -> list[int]:
+    """Sample neighboring lattice indices (lattice order is locality-ish:
+    adjacent entries differ in one knob)."""
+    steps = [1, -1, 2, -2, 3, -3]
+    picks = set()
+    for step in steps:
+        candidate = index + step
+        if 0 <= candidate < lattice_len:
+            picks.add(candidate)
+    while len(picks) < k:
+        picks.add(int(rng.integers(lattice_len)))
+    return list(picks)
+
+
+def hill_climb(
+    profile: WorkloadProfile,
+    spec: AcceleratorSpec,
+    *,
+    metric: str = "time",
+    restarts: int = 4,
+    max_steps: int = 40,
+    seed: int = 0,
+) -> SimulationResult:
+    """Randomized hill climbing on the M lattice.
+
+    Args:
+        profile: workload to tune.
+        spec: target accelerator.
+        metric: objective ("time", "energy", or "edp").
+        restarts: independent random starting points.
+        max_steps: per-restart step budget.
+        seed: PRNG seed.
+
+    Returns:
+        The best :class:`SimulationResult` seen across all restarts.
+    """
+    lattice: list[MachineConfig] = list(iter_configs(spec))
+    rng = np.random.default_rng(seed)
+    evaluated: dict[int, SimulationResult] = {}
+
+    def value_at(index: int) -> float:
+        if index not in evaluated:
+            evaluated[index] = simulate(profile, spec, lattice[index])
+        return evaluated[index].objective(metric)
+
+    best_index = 0
+    best_value = float("inf")
+    for _ in range(max(1, restarts)):
+        current = int(rng.integers(len(lattice)))
+        current_value = value_at(current)
+        for _ in range(max_steps):
+            neighbor_ids = _neighbors(current, len(lattice), rng, k=6)
+            candidates = [(value_at(n), n) for n in neighbor_ids]
+            candidate_value, candidate = min(candidates)
+            if candidate_value >= current_value:
+                break
+            current, current_value = candidate, candidate_value
+        if current_value < best_value:
+            best_value = current_value
+            best_index = current
+    return evaluated[best_index]

@@ -1,0 +1,45 @@
+"""Workload profiles: kernel traces, costed phases, synthetic benchmarks."""
+
+from repro.workload.phases import (
+    BVAR_BY_PHASE_KIND,
+    PHASE_KIND_BY_BVAR,
+    PhaseKind,
+)
+from repro.workload.profile import (
+    BYTES_PER_EDGE,
+    BYTES_PER_VERTEX_STATE,
+    KernelTrace,
+    PhaseProfile,
+    PhaseTrace,
+    WorkloadProfile,
+    build_profile,
+    footprint_for,
+)
+from repro.workload.synthetic import (
+    SyntheticGraphMeta,
+    SyntheticSample,
+    generate_samples,
+    sample_bvars,
+    sample_graph_meta,
+    synthesize_trace,
+)
+
+__all__ = [
+    "BVAR_BY_PHASE_KIND",
+    "BYTES_PER_EDGE",
+    "BYTES_PER_VERTEX_STATE",
+    "KernelTrace",
+    "PHASE_KIND_BY_BVAR",
+    "PhaseKind",
+    "PhaseProfile",
+    "PhaseTrace",
+    "SyntheticGraphMeta",
+    "SyntheticSample",
+    "WorkloadProfile",
+    "build_profile",
+    "footprint_for",
+    "generate_samples",
+    "sample_bvars",
+    "sample_graph_meta",
+    "synthesize_trace",
+]

@@ -1,0 +1,52 @@
+"""Phase taxonomy for graph workloads (the paper's B1–B5 vocabulary).
+
+Graph benchmarks are sequences of parallel phases separated by global
+barriers.  Each phase has one of five scheduling structures, which is what
+the B1–B5 variables quantify and what the accelerator cost model keys its
+divergence/ordering penalties on.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["PhaseKind", "PHASE_KIND_BY_BVAR", "BVAR_BY_PHASE_KIND"]
+
+
+class PhaseKind(str, Enum):
+    """The five outer-loop scheduling structures of Section III-C."""
+
+    VERTEX_DIVISION = "vertex_division"  # B1: fully data-parallel
+    PARETO = "pareto"  # B2: static pareto fronts
+    PARETO_DYNAMIC = "pareto_dynamic"  # B3: dynamically growing fronts
+    PUSH_POP = "push_pop"  # B4: ordered queue accesses
+    REDUCTION = "reduction"  # B5: reductions with atomics
+
+    @property
+    def is_data_parallel(self) -> bool:
+        """Whether the phase exposes massive independent parallelism
+        (B1–B3 structures, which the paper maps to GPUs)."""
+        return self in (
+            PhaseKind.VERTEX_DIVISION,
+            PhaseKind.PARETO,
+            PhaseKind.PARETO_DYNAMIC,
+        )
+
+    @property
+    def is_divergent(self) -> bool:
+        """Whether the phase carries ordering/reduction structure that
+        causes thread divergence on GPUs (B4–B5)."""
+        return self in (PhaseKind.PUSH_POP, PhaseKind.REDUCTION)
+
+
+PHASE_KIND_BY_BVAR: dict[str, PhaseKind] = {
+    "B1": PhaseKind.VERTEX_DIVISION,
+    "B2": PhaseKind.PARETO,
+    "B3": PhaseKind.PARETO_DYNAMIC,
+    "B4": PhaseKind.PUSH_POP,
+    "B5": PhaseKind.REDUCTION,
+}
+
+BVAR_BY_PHASE_KIND: dict[PhaseKind, str] = {
+    kind: bvar for bvar, kind in PHASE_KIND_BY_BVAR.items()
+}

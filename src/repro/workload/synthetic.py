@@ -1,0 +1,236 @@
+"""Synthetic benchmark generation for offline training (Figure 9).
+
+The paper trains its learners on synthetically generated micro-benchmarks:
+mixes of B1–B5 phases with varied loop bodies (FP share, sharing classes,
+contention, barriers), paired with synthetic graphs from the uniform and
+Kronecker families (Table III).  This module generates those benchmarks as
+(B variables, analytic kernel trace) pairs, and samples "virtual" graph
+characteristics from Table III's published ranges (16–65M vertices, 16–2B
+edges) so I variables cover the space real datasets occupy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.bvars import BVariables
+from repro.features.ivars import IVariables, ivars_from_characteristics
+from repro.workload.phases import PHASE_KIND_BY_BVAR, PhaseKind
+from repro.workload.profile import KernelTrace, PhaseTrace
+
+__all__ = [
+    "SyntheticGraphMeta",
+    "SyntheticSample",
+    "sample_bvars",
+    "sample_graph_meta",
+    "synthesize_trace",
+    "generate_samples",
+    "TABLE3_VERTEX_RANGE",
+    "TABLE3_EDGE_RANGE",
+]
+
+# Table III: Unif. Rand. / Kronecker, 16-65M vertices, 16-2B edges.
+TABLE3_VERTEX_RANGE = (16.0, 65e6)
+TABLE3_EDGE_RANGE = (16.0, 2e9)
+_MAX_DEGREE_RANGE = (1.0, 32_000.0)  # Table III's Avg.Deg 1-32K column
+_DIAMETER_RANGE = (1.0, 3000.0)
+
+
+@dataclass(frozen=True)
+class SyntheticGraphMeta:
+    """Virtual characteristics of a synthetic training input."""
+
+    num_vertices: float
+    num_edges: float
+    max_degree: float
+    diameter: float
+    family: str  # "uniform" or "kronecker"
+
+    @property
+    def ivars(self) -> IVariables:
+        """Discretized I variables of the virtual graph."""
+        return ivars_from_characteristics(
+            int(self.num_vertices),
+            int(self.num_edges),
+            int(self.max_degree),
+            int(self.diameter),
+        )
+
+
+@dataclass(frozen=True)
+class SyntheticSample:
+    """One training point: a benchmark/input combination."""
+
+    bvars: BVariables
+    graph: SyntheticGraphMeta
+    trace: KernelTrace
+
+    @property
+    def ivars(self) -> IVariables:
+        """Shortcut to the graph's I variables."""
+        return self.graph.ivars
+
+
+def sample_bvars(rng: np.random.Generator) -> BVariables:
+    """Draw one synthetic benchmark's B variables.
+
+    Phase shares B1–B5 come from a sparse Dirichlet draw (one to three
+    active phases, as in Figure 9's examples) snapped to the 0.1 grid;
+    loop-body variables B6–B13 are independent grid draws with the biases
+    the paper's example programs show (data-driven access B7 is common,
+    indirect B8 is rarer).
+    """
+    num_phases = int(rng.integers(1, 4))
+    active = rng.choice(5, size=num_phases, replace=False)
+    raw = rng.dirichlet(np.ones(num_phases))
+    shares = np.zeros(5)
+    shares[active] = raw
+    grid = np.round(shares * 10.0) / 10.0
+    # Repair the rounding so B1-5 still sums to exactly 1.
+    dominant = int(np.argmax(grid))
+    grid[dominant] += round(1.0 - grid.sum(), 10)
+
+    def draw(low_bias: float) -> float:
+        value = rng.random() ** low_bias
+        return round(round(value * 10.0) / 10.0, 10)
+
+    b7 = draw(1.0)
+    b8 = min(draw(2.5), round(1.0 - b7, 10))
+    return BVariables(
+        b1=round(grid[0], 10),
+        b2=round(grid[1], 10),
+        b3=round(grid[2], 10),
+        b4=round(grid[3], 10),
+        b5=round(grid[4], 10),
+        b6=draw(2.0),
+        b7=b7,
+        b8=max(0.0, b8),
+        b9=draw(1.5),
+        b10=draw(1.5),
+        b11=draw(2.0),
+        b12=draw(2.0),
+        b13=draw(2.5),
+    )
+
+
+def sample_graph_meta(rng: np.random.Generator) -> SyntheticGraphMeta:
+    """Draw virtual graph characteristics from Table III's ranges.
+
+    Sizes are drawn log-uniformly; the max degree is coupled to the family
+    (Kronecker graphs get hub-heavy tails, uniform graphs stay near the
+    average degree) and the diameter is anti-correlated with density, as
+    in real graphs.
+    """
+    family = "kronecker" if rng.random() < 0.5 else "uniform"
+
+    def log_uniform(low: float, high: float) -> float:
+        return float(np.exp(rng.uniform(np.log(low), np.log(high))))
+
+    num_vertices = log_uniform(1e4, TABLE3_VERTEX_RANGE[1])
+    avg_degree = log_uniform(1.0, 64.0)
+    num_edges = min(TABLE3_EDGE_RANGE[1], num_vertices * avg_degree)
+    if family == "kronecker":
+        max_degree = min(
+            num_vertices, avg_degree * log_uniform(50.0, 20_000.0)
+        )
+    else:
+        max_degree = avg_degree * log_uniform(1.5, 8.0)
+    max_degree = float(np.clip(max_degree, *_MAX_DEGREE_RANGE))
+    # Dense graphs converge in few hops; sparse ones can be road-like.
+    density_pull = 1.0 / max(1.0, avg_degree)
+    diameter = float(
+        np.clip(
+            log_uniform(2.0, 40.0) * (1.0 + 200.0 * density_pull * rng.random()),
+            *_DIAMETER_RANGE,
+        )
+    )
+    return SyntheticGraphMeta(
+        num_vertices=num_vertices,
+        num_edges=num_edges,
+        max_degree=max_degree,
+        diameter=diameter,
+        family=family,
+    )
+
+
+def synthesize_trace(
+    bvars: BVariables,
+    graph: SyntheticGraphMeta,
+    *,
+    rng: np.random.Generator | None = None,
+) -> KernelTrace:
+    """Build an analytic kernel trace for a synthetic benchmark.
+
+    Each active phase processes a share of the vertices/edges proportional
+    to its B1–B5 value; iteration counts follow the phase structure
+    (traversal-like phases iterate with the diameter, single-sweep phases
+    do not); peak parallelism and skew come from the phase kind and the
+    graph's degree-tail shape.
+    """
+    rng = rng or np.random.default_rng(0)
+    shares = {
+        PHASE_KIND_BY_BVAR[label]: value
+        for label, value in bvars.as_dict().items()
+        if label in PHASE_KIND_BY_BVAR and value > 0
+    }
+    hubiness = min(
+        1.0, np.log10(max(graph.max_degree, 1.0))
+        / np.log10(max(graph.num_vertices, 10.0))
+    )
+    iterations = max(1, int(round(min(graph.diameter, 400.0))))
+    phases = []
+    for kind, share in shares.items():
+        # Phase structure mirrors the real kernels' traces: all-sweep
+        # phases (vertex division / static pareto / reductions) touch
+        # their slice of the graph every iteration; frontier and queue
+        # phases touch each vertex/edge a bounded number of times total
+        # with per-iteration parallelism set by the frontier width.
+        if kind is PhaseKind.PUSH_POP:
+            items = graph.num_vertices * share * 2.0
+            edges = graph.num_edges * share
+            max_par = max(1.0, graph.num_vertices * share * 0.05)
+            skew = min(1.0, 0.3 + 0.5 * hubiness)
+        elif kind is PhaseKind.PARETO_DYNAMIC:
+            items = graph.num_vertices * share
+            edges = graph.num_edges * share
+            max_par = max(1.0, graph.num_vertices * share / 3.0)
+            skew = min(1.0, 0.7 * hubiness)
+        elif kind is PhaseKind.REDUCTION:
+            items = graph.num_vertices * share * iterations
+            edges = graph.num_edges * share * iterations
+            max_par = max(1.0, graph.num_vertices * share / 2.0)
+            skew = min(1.0, 0.2 + 0.4 * hubiness)
+        else:
+            items = graph.num_vertices * share * iterations
+            edges = graph.num_edges * share * iterations
+            max_par = max(1.0, graph.num_vertices * share)
+            skew = min(1.0, 0.7 * hubiness)
+        phases.append(
+            PhaseTrace(
+                kind=kind,
+                items=items,
+                edges=edges,
+                max_parallelism=max_par,
+                work_skew=skew,
+            )
+        )
+    return KernelTrace(
+        benchmark="synthetic",
+        graph_name=f"{graph.family}-v{int(graph.num_vertices)}",
+        phases=tuple(phases),
+        num_iterations=iterations,
+    )
+
+
+def generate_samples(num_samples: int, *, seed: int = 0) -> list[SyntheticSample]:
+    """Generate ``num_samples`` synthetic benchmark/input combinations."""
+    rng = np.random.default_rng(seed)
+    samples = []
+    for _ in range(max(0, num_samples)):
+        bvars = sample_bvars(rng)
+        graph = sample_graph_meta(rng)
+        trace = synthesize_trace(bvars, graph, rng=rng)
+        samples.append(SyntheticSample(bvars=bvars, graph=graph, trace=trace))
+    return samples

@@ -1,0 +1,239 @@
+"""Tests for the accelerator cost model's structural invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.cost_model import evaluate_cost
+from repro.features.bvars import BVariables
+from repro.machine.mvars import MachineConfig, OmpSchedule, default_config
+from repro.machine.specs import get_accelerator, with_memory_gb
+from repro.workload.phases import PhaseKind
+from repro.workload.profile import KernelTrace, PhaseTrace, build_profile
+
+GPU = get_accelerator("gtx750ti")
+PHI = get_accelerator("xeonphi7120p")
+
+
+def make_profile(
+    *,
+    kind=PhaseKind.VERTEX_DIVISION,
+    vertices=1e6,
+    edges=1e7,
+    iterations=5,
+    b6=0.0,
+    b8=0.0,
+    b12=0.2,
+    skew=0.2,
+):
+    bv = BVariables(
+        b1=1.0, b6=b6, b7=min(0.8, 1.0 - b8), b8=b8, b9=0.4, b10=0.4,
+        b11=0.2, b12=b12, b13=0.2,
+    )
+    trace = KernelTrace(
+        benchmark="t",
+        graph_name="g",
+        phases=(
+            PhaseTrace(
+                kind=kind,
+                items=vertices * iterations,
+                edges=edges * iterations,
+                max_parallelism=vertices,
+                work_skew=skew,
+            ),
+        ),
+        num_iterations=iterations,
+    )
+    return build_profile(
+        trace, bv,
+        target_vertices=vertices, target_edges=edges,
+        source_vertices=vertices, source_edges=edges,
+    )
+
+
+class TestBasics:
+    def test_positive_times(self):
+        profile = make_profile()
+        for spec in (GPU, PHI):
+            cost = evaluate_cost(profile, spec, default_config(spec))
+            assert cost.time_s > 0
+            assert all(pc.total_s > 0 for pc in cost.phase_costs)
+
+    def test_deterministic(self):
+        profile = make_profile()
+        a = evaluate_cost(profile, GPU, default_config(GPU))
+        b = evaluate_cost(profile, GPU, default_config(GPU))
+        assert a.time_s == b.time_s
+
+    def test_utilization_in_unit_interval(self):
+        profile = make_profile()
+        for spec in (GPU, PHI):
+            cost = evaluate_cost(profile, spec, default_config(spec))
+            assert 0.0 <= cost.utilization <= 1.0
+
+
+class TestMonotonicity:
+    def test_more_edges_more_time(self):
+        small = make_profile(edges=1e6)
+        big = make_profile(edges=1e8)
+        for spec in (GPU, PHI):
+            cfg = default_config(spec)
+            assert (
+                evaluate_cost(big, spec, cfg).time_s
+                > evaluate_cost(small, spec, cfg).time_s
+            )
+
+    # Divergence penalizes compute, so probe with a cache-resident
+    # (compute-bound) workload where the roofline exposes it.
+    _COMPUTE_BOUND = dict(vertices=1e4, edges=2e5, iterations=40)
+
+    def test_divergent_phase_slower_on_gpu(self):
+        parallel = make_profile(
+            kind=PhaseKind.VERTEX_DIVISION, **self._COMPUTE_BOUND
+        )
+        divergent = make_profile(
+            kind=PhaseKind.REDUCTION, **self._COMPUTE_BOUND
+        )
+        cfg = default_config(GPU)
+        assert (
+            evaluate_cost(divergent, GPU, cfg).time_s
+            > evaluate_cost(parallel, GPU, cfg).time_s
+        )
+
+    def test_divergence_hurts_gpu_more_than_multicore(self):
+        parallel = make_profile(
+            kind=PhaseKind.VERTEX_DIVISION, **self._COMPUTE_BOUND
+        )
+        divergent = make_profile(
+            kind=PhaseKind.REDUCTION, **self._COMPUTE_BOUND
+        )
+        gpu_ratio = (
+            evaluate_cost(divergent, GPU, default_config(GPU)).time_s
+            / evaluate_cost(parallel, GPU, default_config(GPU)).time_s
+        )
+        phi_ratio = (
+            evaluate_cost(divergent, PHI, default_config(PHI)).time_s
+            / evaluate_cost(parallel, PHI, default_config(PHI)).time_s
+        )
+        assert gpu_ratio > phi_ratio
+
+    def test_fp_hurts_gpu_more(self):
+        """Consumer GPUs are DP-starved (Table II: 0.04 vs 1.2 TFLOPs)."""
+        integer = make_profile(b6=0.0)
+        floating = make_profile(b6=0.8)
+        gpu_ratio = (
+            evaluate_cost(floating, GPU, default_config(GPU)).time_s
+            / evaluate_cost(integer, GPU, default_config(GPU)).time_s
+        )
+        phi_ratio = (
+            evaluate_cost(floating, PHI, default_config(PHI)).time_s
+            / evaluate_cost(integer, PHI, default_config(PHI)).time_s
+        )
+        assert gpu_ratio > phi_ratio
+
+    def test_indirect_hurts_gpu_more(self):
+        direct = make_profile(b8=0.0)
+        indirect = make_profile(b8=0.5)
+        gpu_ratio = (
+            evaluate_cost(indirect, GPU, default_config(GPU)).time_s
+            / evaluate_cost(direct, GPU, default_config(GPU)).time_s
+        )
+        phi_ratio = (
+            evaluate_cost(indirect, PHI, default_config(PHI)).time_s
+            / evaluate_cost(direct, PHI, default_config(PHI)).time_s
+        )
+        assert gpu_ratio > phi_ratio
+
+
+class TestStreaming:
+    def test_oversized_graph_streams(self):
+        profile = make_profile(vertices=1e8, edges=2e9)  # ~32 GB
+        cost = evaluate_cost(profile, GPU, default_config(GPU))
+        assert cost.streaming_s > 0
+
+    def test_fitting_graph_does_not_stream(self):
+        profile = make_profile(vertices=1e5, edges=1e6)
+        cost = evaluate_cost(profile, GPU, default_config(GPU))
+        assert cost.streaming_s == 0.0
+
+    def test_more_memory_less_streaming(self):
+        profile = make_profile(vertices=1e7, edges=3e8)  # ~5 GB
+        small = with_memory_gb(PHI, 2.0)
+        large = with_memory_gb(PHI, 16.0)
+        cfg = default_config(PHI)
+        assert (
+            evaluate_cost(profile, large, cfg).time_s
+            < evaluate_cost(profile, small, cfg).time_s
+        )
+
+
+class TestConfigSensitivity:
+    def test_thread_undersubscription_slower_gpu(self):
+        profile = make_profile()
+        few = MachineConfig(
+            accelerator=GPU.name, gpu_global_threads=64, gpu_local_threads=32
+        )
+        many = MachineConfig(
+            accelerator=GPU.name,
+            gpu_global_threads=4096,
+            gpu_local_threads=128,
+        )
+        assert (
+            evaluate_cost(profile, GPU, few).time_s
+            > evaluate_cost(profile, GPU, many).time_s
+        )
+
+    def test_single_core_slower_than_full_chip(self):
+        profile = make_profile()
+        one = MachineConfig(accelerator=PHI.name, cores=1)
+        full = default_config(PHI)
+        assert (
+            evaluate_cost(profile, PHI, one).time_s
+            > evaluate_cost(profile, PHI, full).time_s
+        )
+
+    def test_static_schedule_pays_for_skew(self):
+        profile = make_profile(skew=0.9)
+        static = MachineConfig(
+            accelerator=PHI.name, cores=61, threads_per_core=4,
+            omp_schedule=OmpSchedule.STATIC,
+        )
+        dynamic = MachineConfig(
+            accelerator=PHI.name, cores=61, threads_per_core=4,
+            omp_schedule=OmpSchedule.DYNAMIC,
+        )
+        assert (
+            evaluate_cost(profile, PHI, static).time_s
+            > evaluate_cost(profile, PHI, dynamic).time_s
+        )
+
+    def test_contention_prefers_long_blocktime(self):
+        profile = make_profile(b12=0.9)
+        short = MachineConfig(
+            accelerator=PHI.name, cores=61, blocktime_ms=1.0
+        )
+        long = MachineConfig(
+            accelerator=PHI.name, cores=61, blocktime_ms=1000.0
+        )
+        assert (
+            evaluate_cost(profile, PHI, long).time_s
+            < evaluate_cost(profile, PHI, short).time_s
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    vertices=st.floats(1e3, 1e7),
+    degree=st.floats(1.0, 64.0),
+    iterations=st.integers(1, 50),
+)
+def test_property_cost_finite_and_positive(vertices, degree, iterations):
+    profile = make_profile(
+        vertices=vertices, edges=vertices * degree, iterations=iterations
+    )
+    for spec in (GPU, PHI):
+        cost = evaluate_cost(profile, spec, default_config(spec))
+        assert cost.time_s > 0
+        assert cost.time_s < 1e6  # sane upper bound (seconds)

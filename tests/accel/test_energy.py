@@ -1,0 +1,67 @@
+"""Tests for the energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.cost_model import evaluate_cost
+from repro.accel.energy import active_core_fraction, evaluate_energy
+from repro.machine.mvars import MachineConfig, default_config
+from repro.machine.specs import get_accelerator
+
+from tests.accel.test_cost_model import make_profile
+
+GPU = get_accelerator("gtx750ti")
+PHI = get_accelerator("xeonphi7120p")
+
+
+class TestActiveCoreFraction:
+    def test_gpu_full_threads(self):
+        assert active_core_fraction(GPU, default_config(GPU)) == 1.0
+
+    def test_gpu_partial(self):
+        cfg = MachineConfig(
+            accelerator=GPU.name, gpu_global_threads=GPU.max_threads // 2
+        )
+        assert active_core_fraction(GPU, cfg) == pytest.approx(0.5)
+
+    def test_multicore_core_share(self):
+        cfg = MachineConfig(accelerator=PHI.name, cores=30)
+        assert active_core_fraction(PHI, cfg) == pytest.approx(30 / 61)
+
+
+class TestEnergy:
+    def _energy(self, spec, config=None, profile=None):
+        profile = profile or make_profile()
+        config = config or default_config(spec)
+        cost = evaluate_cost(profile, spec, config)
+        return evaluate_energy(cost, spec, config)
+
+    def test_positive(self):
+        assert self._energy(GPU).energy_j > 0
+
+    def test_power_between_idle_and_tdp(self):
+        for spec in (GPU, PHI):
+            result = self._energy(spec)
+            assert spec.idle_watts <= result.avg_power_w <= spec.tdp_watts
+
+    def test_phi_draws_more_power(self):
+        """The paper: 'The Xeon Phi has a larger power rating ... it
+        dissipates more energy'."""
+        assert self._energy(PHI).avg_power_w > self._energy(GPU).avg_power_w
+
+    def test_fewer_cores_less_power(self):
+        few = MachineConfig(accelerator=PHI.name, cores=8)
+        full = default_config(PHI)
+        assert (
+            self._energy(PHI, few).avg_power_w
+            < self._energy(PHI, full).avg_power_w
+        )
+
+    def test_energy_scales_with_time(self):
+        small = make_profile(edges=1e6)
+        large = make_profile(edges=1e8)
+        assert (
+            self._energy(GPU, profile=large).energy_j
+            > self._energy(GPU, profile=small).energy_j
+        )

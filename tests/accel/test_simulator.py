@@ -1,0 +1,54 @@
+"""Tests for the top-level simulator facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.simulator import simulate
+from repro.errors import SimulationError
+from repro.machine.mvars import MachineConfig, default_config
+from repro.machine.specs import get_accelerator
+
+from tests.accel.test_cost_model import make_profile
+
+GPU = get_accelerator("gtx750ti")
+PHI = get_accelerator("xeonphi7120p")
+
+
+class TestSimulate:
+    def test_result_fields(self):
+        result = simulate(make_profile(), GPU, default_config(GPU))
+        assert result.accelerator == "gtx750ti"
+        assert result.time_ms == pytest.approx(result.time_s * 1e3)
+        assert result.energy_j > 0
+        assert 0.0 <= result.utilization <= 1.0
+
+    def test_clamps_out_of_range_configs(self):
+        wild = MachineConfig(
+            accelerator="whatever",
+            cores=10_000,
+            threads_per_core=99,
+            simd_width=512,
+        )
+        result = simulate(make_profile(), PHI, wild)
+        assert result.config.cores == PHI.cores
+        assert result.config.accelerator == PHI.name
+
+    def test_objective_metrics(self):
+        result = simulate(make_profile(), GPU, default_config(GPU))
+        assert result.objective("time") == result.time_s
+        assert result.objective("energy") == result.energy_j
+        assert result.objective("edp") == pytest.approx(
+            result.energy_j * result.time_s
+        )
+
+    def test_unknown_objective(self):
+        result = simulate(make_profile(), GPU, default_config(GPU))
+        with pytest.raises(SimulationError):
+            result.objective("carbon")
+
+    def test_energy_equals_power_times_time(self):
+        result = simulate(make_profile(), PHI, default_config(PHI))
+        assert result.energy_j == pytest.approx(
+            result.energy.avg_power_w * result.time_s
+        )

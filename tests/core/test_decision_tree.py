@@ -1,0 +1,102 @@
+"""Tests for the Section IV decision tree (M1 selection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decision_tree import decision_tree_predict, select_accelerator
+from repro.features.bvars import BVariables
+from repro.features.ivars import IVariables, ivars_from_meta
+from repro.features.profiles import get_profile
+from repro.graph.datasets import get_dataset
+from repro.machine.specs import get_accelerator
+
+GPU = get_accelerator("gtx750ti")
+PHI = get_accelerator("xeonphi7120p")
+CA = ivars_from_meta(get_dataset("usa-cal").paper)
+FB = ivars_from_meta(get_dataset("facebook").paper)
+CO = ivars_from_meta(get_dataset("m-ret-3").paper)
+KRON = ivars_from_meta(get_dataset("kron-large").paper)
+
+
+class TestPaperExamples:
+    def test_sssp_bf_selects_gpu(self):
+        """Fig 7: SSSP-BF on USA-Cal -> GPU."""
+        decision = select_accelerator(get_profile("sssp_bf"), CA)
+        assert not decision.choose_multicore
+
+    def test_sssp_delta_selects_multicore(self):
+        """Fig 7: SSSP-Delta on USA-Cal -> Xeon Phi."""
+        decision = select_accelerator(get_profile("sssp_delta"), CA)
+        assert decision.choose_multicore
+
+    def test_bfs_selects_gpu(self):
+        """'This allows workloads such as SSSP-BF and BFS to run on the
+        GPU.'"""
+        decision = select_accelerator(get_profile("bfs"), FB)
+        assert not decision.choose_multicore
+
+    def test_reductions_with_rw_shared_select_multicore(self):
+        """'The multicore is selected for the case with reductions (B5)
+        and read-write shared data (B10).'"""
+        bv = BVariables(b1=0.3, b5=0.7, b7=0.5, b10=0.8, b12=0.3)
+        decision = select_accelerator(bv, FB)
+        assert decision.choose_multicore
+
+    def test_reductions_with_fp_low_local_select_gpu(self):
+        bv = BVariables(b1=0.3, b5=0.7, b6=0.4, b7=0.5, b10=0.2, b11=0.1)
+        decision = select_accelerator(bv, FB)
+        assert not decision.choose_multicore
+
+    def test_push_pop_on_dense_graph_selects_multicore(self):
+        bv = BVariables(b4=0.6, b1=0.4, b7=0.5, b10=0.3)
+        dense = IVariables(0.3, 0.8, 0.5, 0.0)
+        decision = select_accelerator(bv, dense)
+        assert decision.choose_multicore
+
+
+class TestDataConsistentRules:
+    def test_large_graphs_select_gpu(self):
+        """Figure 11's finding: Frnd/Kron 'perform better on the GPU
+        because they are large and require more threads'."""
+        for bench in ("pagerank", "community", "sssp_delta"):
+            decision = select_accelerator(get_profile(bench), KRON)
+            assert not decision.choose_multicore, bench
+
+    def test_cache_resident_graphs_select_multicore(self):
+        for bench in ("sssp_bf", "bfs", "pagerank"):
+            decision = select_accelerator(get_profile(bench), CO)
+            assert decision.choose_multicore, bench
+
+    def test_fp_benchmarks_select_multicore_mid_scale(self):
+        for bench in ("pagerank", "pagerank_dp", "community"):
+            decision = select_accelerator(get_profile(bench), FB)
+            assert decision.choose_multicore, bench
+
+    def test_indirect_selects_multicore_mid_scale(self):
+        decision = select_accelerator(
+            get_profile("connected_components"), FB
+        )
+        assert decision.choose_multicore
+
+    def test_fallback_on_phase_mass(self):
+        sequential = BVariables(b4=0.4, b5=0.3, b1=0.3, b7=0.5, b10=0.3)
+        parallel = BVariables(b1=0.4, b2=0.1, b4=0.3, b5=0.2, b7=0.5, b10=0.3)
+        assert select_accelerator(sequential, FB).choose_multicore
+        assert not select_accelerator(parallel, FB).choose_multicore
+
+
+class TestFullPrediction:
+    def test_predict_returns_config_for_chosen_machine(self):
+        spec, config, decision = decision_tree_predict(
+            get_profile("sssp_delta"), CA, GPU, PHI
+        )
+        assert spec.name == PHI.name
+        assert config.accelerator == PHI.name
+        assert decision.choose_multicore
+
+    def test_every_rule_reports_reason(self):
+        for bench in ("sssp_bf", "sssp_delta", "bfs", "dfs", "pagerank"):
+            for iv in (CA, FB, CO, KRON):
+                decision = select_accelerator(get_profile(bench), iv)
+                assert "->" in decision.rule

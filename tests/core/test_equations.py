@@ -1,0 +1,113 @@
+"""Tests for the Section IV intra-accelerator equations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.equations import (
+    config_from_equations,
+    gpu_config_from_equations,
+    multicore_config_from_equations,
+)
+from repro.features.ivars import ivars_from_meta
+from repro.features.profiles import get_profile
+from repro.graph.datasets import get_dataset
+from repro.machine.mvars import OmpSchedule
+from repro.machine.specs import get_accelerator
+
+GPU = get_accelerator("gtx750ti")
+PHI = get_accelerator("xeonphi7120p")
+CA = ivars_from_meta(get_dataset("usa-cal").paper)
+
+
+class TestPaperWorkedExample:
+    """Figure 7's numbers: SSSP-BF/USA-Cal on GPU resolves to M19 = 0.1
+    of global threads and maximum M20; SSSP-Delta/USA-Cal on the Phi
+    resolves to M2 = 7 cores, M3 = 4 threads/core, M5-7 = 0.9."""
+
+    def test_gpu_m19_is_tenth_of_max(self):
+        config = gpu_config_from_equations(get_profile("sssp_bf"), CA, GPU)
+        assert config.gpu_global_threads / GPU.max_threads == pytest.approx(
+            0.1, abs=0.01
+        )
+
+    def test_gpu_m20_is_max(self):
+        config = gpu_config_from_equations(get_profile("sssp_bf"), CA, GPU)
+        assert config.gpu_local_threads == 1024
+
+    def test_phi_m2_is_seven_cores(self):
+        config = multicore_config_from_equations(
+            get_profile("sssp_delta"), CA, PHI
+        )
+        assert config.cores == 7
+
+    def test_phi_m3_is_max_threads_per_core(self):
+        config = multicore_config_from_equations(
+            get_profile("sssp_delta"), CA, PHI
+        )
+        assert config.threads_per_core == 4
+
+    def test_phi_placement_is_point_nine(self):
+        config = multicore_config_from_equations(
+            get_profile("sssp_delta"), CA, PHI
+        )
+        assert config.placement_core == pytest.approx(0.9)
+
+
+class TestEquationStructure:
+    def test_blocktime_follows_contention(self):
+        calm = multicore_config_from_equations(
+            get_profile("bfs"), CA, PHI
+        )
+        contended = multicore_config_from_equations(
+            get_profile("sssp_delta"), CA, PHI
+        )
+        assert contended.blocktime_ms > calm.blocktime_ms
+
+    def test_blocktime_formula(self):
+        bv = get_profile("sssp_delta")  # B12=0.4, B13=0.3
+        config = multicore_config_from_equations(bv, CA, PHI)
+        assert config.blocktime_ms == pytest.approx(
+            (0.4 + 0.3) / 2 * 1000 + 1
+        )
+
+    def test_affinity_formula(self):
+        bv = get_profile("sssp_delta")  # B10 = 0.6
+        config = multicore_config_from_equations(bv, CA, PHI)
+        assert config.affinity == pytest.approx((0.9 + 0.6) / 2)
+
+    def test_dynamic_schedule_for_rw_shared(self):
+        config = multicore_config_from_equations(
+            get_profile("sssp_delta"), CA, PHI  # B10 = 0.6
+        )
+        assert config.omp_schedule is OmpSchedule.DYNAMIC
+
+    def test_static_schedule_for_low_sharing(self):
+        config = multicore_config_from_equations(
+            get_profile("bfs"), CA, PHI  # B10 = 0.4, B4+B5 = 0
+        )
+        assert config.omp_schedule is OmpSchedule.STATIC
+
+    def test_ceiling_rule(self):
+        """Values beyond the machine maxima are clamped."""
+        twtr = ivars_from_meta(get_dataset("kron-large").paper)
+        config = multicore_config_from_equations(
+            get_profile("pagerank"), twtr, PHI
+        )
+        assert config.cores <= PHI.cores
+        assert config.simd_width <= PHI.simd_width
+
+    def test_minimum_floors(self):
+        """Tiny graphs still occupy at least one scheduling unit."""
+        co = ivars_from_meta(get_dataset("m-ret-3").paper)  # I1 = 0
+        gpu_cfg = gpu_config_from_equations(get_profile("sssp_bf"), co, GPU)
+        assert gpu_cfg.gpu_global_threads >= gpu_cfg.gpu_local_threads
+        phi_cfg = multicore_config_from_equations(
+            get_profile("sssp_bf"), co, PHI
+        )
+        assert phi_cfg.cores >= PHI.cores // 8
+
+    def test_dispatch_by_kind(self):
+        bv = get_profile("sssp_bf")
+        assert config_from_equations(bv, CA, GPU).gpu_global_threads > 1
+        assert config_from_equations(bv, CA, PHI).cores >= 1

@@ -1,0 +1,36 @@
+"""Tests for predictor overhead measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.encoding import NUM_FEATURES, NUM_TARGETS
+from repro.core.overhead import measure_overhead_ms
+from repro.core.predictors import DeepPredictor, LinearPredictor
+
+
+def _trained(predictor):
+    rng = np.random.default_rng(0)
+    predictor.fit(rng.random((32, NUM_FEATURES)), rng.random((32, NUM_TARGETS)))
+    return predictor
+
+
+class TestOverhead:
+    def test_positive(self):
+        overhead = measure_overhead_ms(_trained(LinearPredictor()), repeats=5)
+        assert overhead > 0
+
+    def test_sane_magnitude(self):
+        overhead = measure_overhead_ms(_trained(LinearPredictor()), repeats=5)
+        assert overhead < 50.0  # milliseconds, even on slow hosts
+
+    def test_larger_net_not_cheaper_than_linear(self):
+        linear = measure_overhead_ms(
+            _trained(LinearPredictor()), repeats=15, seed=1
+        )
+        deep = measure_overhead_ms(
+            _trained(DeepPredictor(256, epochs=2)), repeats=15, seed=1
+        )
+        # Allow generous noise margin; a 256-wide MLP should not be an
+        # order of magnitude faster than a mat-vec.
+        assert deep > linear / 10

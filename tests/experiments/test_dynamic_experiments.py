@@ -1,0 +1,116 @@
+"""Reduced-scale smoke tests for the trained experiments.
+
+The full grids run in the benchmark harness (``benchmarks/``); here each
+experiment executes on a sliced grid with a small training set to verify
+the plumbing and the headline *directions* (who wins, the sign of gains).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig11_scheduler,
+    fig12_energy,
+    fig13_utilization,
+    fig16_memory,
+    table4_learners,
+)
+from repro.experiments.common import trained_heteromap
+
+SMALL_BENCHMARKS = ("sssp_bf", "sssp_delta", "pagerank")
+SMALL_DATASETS = ("usa-cal", "cage14", "twitter")
+
+
+@pytest.fixture(scope="module")
+def hetero():
+    return trained_heteromap(num_samples=60, seed=11, predictor="deep16")
+
+
+class TestFig11Reduced:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        hetero = trained_heteromap(num_samples=60, seed=11, predictor="deep16")
+        return fig11_scheduler.run_experiment(
+            hetero=hetero,
+            benchmarks=SMALL_BENCHMARKS,
+            datasets=SMALL_DATASETS,
+        )
+
+    def test_grid_size(self, result):
+        assert len(result.cells) == 9
+
+    def test_ideal_never_above_gpu_baseline(self, result):
+        for cell in result.cells:
+            assert cell.ideal <= 1.0 + 1e-9
+
+    def test_heteromap_not_worse_than_both_baselines_everywhere(self, result):
+        # HeteroMap may err per cell, but the geomean must beat the
+        # worse baseline.
+        assert result.geomean_gain_over_multicore() > 0.9 or (
+            result.geomean_gain_over_gpu() > 0.9
+        )
+
+    def test_render(self, result):
+        text = fig11_scheduler.render(result)
+        assert "geomean" in text
+
+
+class TestFig12Reduced:
+    def test_energy_directions(self):
+        result = fig12_energy.run_experiment(
+            benchmarks=("pagerank",), datasets=SMALL_DATASETS
+        )
+        row = result.rows[0]
+        assert 0 < row.heteromap <= 1.0
+        assert 0 < row.ideal <= row.heteromap + 1e-9
+
+    def test_benefit_positive(self):
+        result = fig12_energy.run_experiment(
+            benchmarks=("sssp_bf", "pagerank"), datasets=SMALL_DATASETS
+        )
+        assert result.benefit_over_single() > 0.9
+
+
+class TestFig13Reduced:
+    def test_utilization_rows(self):
+        result = fig13_utilization.run_experiment(
+            benchmarks=("sssp_bf", "sssp_delta"), datasets=SMALL_DATASETS
+        )
+        assert len(result.rows) == 2
+        for row in result.rows:
+            for value in (row.gpu_only, row.multicore_only, row.heteromap):
+                assert 0.0 <= value <= 100.0
+
+
+class TestTable4Reduced:
+    def test_learner_rows(self):
+        rows = table4_learners.run_experiment(
+            learners=("decision_tree", "linear", "deep16"),
+            num_samples=60,
+            seed=11,
+            benchmarks=SMALL_BENCHMARKS,
+            datasets=SMALL_DATASETS,
+        )
+        assert [row.learner for row in rows] == [
+            "decision_tree", "linear", "deep16",
+        ]
+        for row in rows:
+            assert row.overhead_ms > 0
+            assert 0.0 <= row.accuracy_percent <= 100.0
+
+
+class TestFig16Reduced:
+    def test_memory_scaling_direction(self):
+        result = fig16_memory.run_experiment(
+            accelerators=("xeonphi7120p",),
+            benchmarks=("pagerank",),
+            datasets=("twitter", "cage14"),
+        )
+        series = result.series("xeonphi7120p")
+        assert series[0].mem_gb < series[-1].mem_gb
+        # Larger memory must not be slower (streaming only shrinks).
+        assert (
+            series[-1].geomean_time_ms <= series[0].geomean_time_ms + 1e-9
+        )
+        assert result.improvement("xeonphi7120p") >= 1.0

@@ -1,0 +1,156 @@
+"""Tests for the table/figure experiments that need no training."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig01_thread_sweep,
+    fig04_ivars,
+    fig05_bvars,
+    fig07_decision_flow,
+    table2_specs,
+    table3_synthetic,
+)
+from repro.experiments.common import geomean, render_table
+
+
+class TestCommonHelpers:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_empty_nan(self):
+        import math
+
+        assert math.isnan(geomean([]))
+
+    def test_render_table(self):
+        text = render_table(["a", "b"], [[1, 2.5], ["x", "y"]])
+        assert "a" in text and "2.5" in text
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+
+
+class TestFig04:
+    def test_rows_cover_table1(self):
+        rows = fig04_ivars.run_experiment()
+        assert len(rows) == 9
+
+    def test_paper_anchor_values(self):
+        rows = {row.dataset: row for row in fig04_ivars.run_experiment()}
+        for dataset, anchors in fig04_ivars.PAPER_ANCHORS.items():
+            ivars = rows[dataset].ivars.as_dict()
+            for label, expected in anchors.items():
+                assert ivars[label] == pytest.approx(expected), (
+                    dataset, label,
+                )
+
+    def test_render(self):
+        text = fig04_ivars.render(fig04_ivars.run_experiment())
+        assert "I1" in text and "usa-cal" in text
+
+
+class TestFig05:
+    def test_profiles_complete(self):
+        profiles = fig05_bvars.run_experiment()
+        assert len(profiles) == 9
+
+    def test_checkmark_matrix(self):
+        profiles = fig05_bvars.run_experiment()
+        marks = fig05_bvars.checkmark_matrix(profiles)
+        assert "B3" in marks["bfs"]
+        assert "B8" in marks["dfs"]
+        assert "B8" not in marks["sssp_bf"]
+
+    def test_render_contains_both_views(self):
+        text = fig05_bvars.render(fig05_bvars.run_experiment())
+        assert "Figure 6" in text and "Figure 5" in text
+
+
+class TestTable2:
+    def test_paper_values_audited(self):
+        specs = table2_specs.run_experiment()
+        for name, expected in table2_specs.PAPER_TABLE2.items():
+            spec = specs[name]
+            for field, value in expected.items():
+                assert getattr(spec, field) == value, (name, field)
+
+    def test_render(self):
+        text = table2_specs.render(table2_specs.run_experiment())
+        assert "gtx750ti" in text and "TDP" in text
+
+
+class TestTable3:
+    def test_summary_ranges(self):
+        summary = table3_synthetic.run_experiment(num_samples=150, seed=1)
+        assert summary.num_samples == 150
+        assert set(summary.families) == {"uniform", "kronecker"}
+        assert summary.vertex_range[1] <= 65e6
+        assert summary.edge_range[1] <= 2e9
+        assert set(summary.active_phase_counts) <= {1, 2, 3}
+
+    def test_render(self):
+        summary = table3_synthetic.run_experiment(num_samples=20, seed=0)
+        assert "Table III" in table3_synthetic.render(summary)
+
+
+class TestFig01:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig01_thread_sweep.run_experiment(num_points=6)
+
+    def test_all_curves_present(self, result):
+        assert len(result.curves) == 8  # 2 benchmarks x 2 inputs x 2 machines
+
+    def test_multicore_wins_sparse_road_delta(self, result):
+        """Figure 1's headline: the multicore dominates USA-Cal."""
+        phi = result.curve("usa-cal", "xeonphi7120p", "sssp_delta")
+        gpu = result.curve("usa-cal", "gtx750ti", "sssp_delta")
+        assert phi.best_time_ms < gpu.best_time_ms / 2
+
+    def test_gpu_wins_dense_data_parallel(self, result):
+        """The dense input flips toward the GPU for the data-parallel
+        SSSP formulation."""
+        phi = result.curve("cage14", "xeonphi7120p", "sssp_bf")
+        gpu = result.curve("cage14", "gtx750ti", "sssp_bf")
+        assert gpu.best_time_ms < phi.best_time_ms
+
+    def test_gpu_optimum_at_intermediate_threads_dense(self, result):
+        """'Intermediate threading performs best on the GPU' for CAGE."""
+        gpu = result.curve("cage14", "gtx750ti", "sssp_delta")
+        assert gpu.best_fraction < 1.0
+
+    def test_render(self, result):
+        text = fig01_thread_sweep.render(result)
+        assert "sssp_delta" in text and "usa-cal" in text
+
+
+class TestFig07:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig07_decision_flow.run_experiment()
+
+    def test_sssp_bf_on_gpu(self, rows):
+        assert rows[0].chosen_accelerator == "gtx750ti"
+
+    def test_sssp_delta_on_phi(self, rows):
+        assert rows[1].chosen_accelerator == "xeonphi7120p"
+
+    def test_worked_example_m_values(self, rows):
+        gpu_cfg = rows[0].config
+        assert gpu_cfg.gpu_global_threads / 10_240 == pytest.approx(0.1, abs=0.01)
+        assert gpu_cfg.gpu_local_threads == 1024
+        phi_cfg = rows[1].config
+        assert phi_cfg.cores == 7
+        assert phi_cfg.threads_per_core == 4
+        assert phi_cfg.placement_core == pytest.approx(0.9)
+
+    def test_gap_near_paper_fifteen_percent(self, rows):
+        """The paper reports ~15% from optimal; accept up to 40%."""
+        for row in rows:
+            assert row.gap_percent < 40.0
+            assert row.gap_percent >= 0.0
+
+    def test_render(self, rows):
+        text = fig07_decision_flow.render(rows)
+        assert "gap" in text

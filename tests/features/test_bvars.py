@@ -1,0 +1,78 @@
+"""Tests for the B-variable dataclass."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FeatureError
+from repro.features.bvars import B_LABELS, PHASE_FIELDS, BVariables
+
+
+class TestValidation:
+    def test_default_needs_phase_mass(self):
+        with pytest.raises(FeatureError):
+            BVariables()  # B1-5 sum to 0
+
+    def test_valid_single_phase(self):
+        bv = BVariables(b1=1.0)
+        assert bv.b1 == 1.0
+
+    def test_phase_sum_enforced(self):
+        with pytest.raises(FeatureError):
+            BVariables(b1=0.5, b4=0.6)
+
+    def test_range_enforced(self):
+        with pytest.raises(FeatureError):
+            BVariables(b1=1.0, b7=1.5)
+        with pytest.raises(FeatureError):
+            BVariables(b1=1.0, b9=-0.1)
+
+    def test_mixed_phases(self):
+        bv = BVariables(b1=0.4, b4=0.4, b5=0.2)
+        assert sum(getattr(bv, f) for f in PHASE_FIELDS) == pytest.approx(1.0)
+
+
+class TestViews:
+    def test_as_dict_labels(self):
+        bv = BVariables(b1=1.0, b7=0.8)
+        assert list(bv.as_dict()) == list(B_LABELS)
+        assert bv.as_dict()["B7"] == 0.8
+
+    def test_as_vector_length(self):
+        assert len(BVariables(b1=1.0).as_vector()) == 13
+
+    def test_used_variables(self):
+        bv = BVariables(b1=1.0, b7=0.8, b12=0.2)
+        assert bv.used_variables() == ("B1", "B7", "B12")
+
+
+class TestSnapped:
+    def test_snapping_preserves_phase_sum(self):
+        bv = BVariables(b1=0.33, b4=0.33, b5=0.34)
+        snapped = bv.snapped()
+        total = sum(getattr(snapped, f) for f in PHASE_FIELDS)
+        assert total == pytest.approx(1.0)
+
+    def test_snapping_rounds_loop_vars(self):
+        bv = BVariables(b1=1.0, b7=0.77)
+        assert bv.snapped().b7 == pytest.approx(0.8)
+
+    def test_already_snapped_unchanged(self):
+        bv = BVariables(b1=0.6, b5=0.4, b7=0.5)
+        snapped = bv.snapped()
+        assert snapped == bv
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    split=st.floats(0.0, 1.0),
+    b7=st.floats(0.0, 1.0),
+    b12=st.floats(0.0, 1.0),
+)
+def test_property_snapped_is_valid(split, b7, b12):
+    bv = BVariables(b1=split, b5=1.0 - split, b7=b7, b12=b12)
+    snapped = bv.snapped()
+    for value in snapped.as_vector():
+        assert 0.0 <= value <= 1.0

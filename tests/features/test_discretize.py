@@ -1,0 +1,85 @@
+"""Tests for grid snapping and log-linear normalization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FeatureError
+from repro.features.discretize import clamp01, log_linear, snap_to_grid
+
+
+class TestClamp01:
+    @pytest.mark.parametrize(
+        "value,expected", [(-1.0, 0.0), (0.0, 0.0), (0.5, 0.5), (1.0, 1.0), (7.0, 1.0)]
+    )
+    def test_values(self, value, expected):
+        assert clamp01(value) == expected
+
+
+class TestSnapToGrid:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0.0, 0.0), (0.04, 0.0), (0.06, 0.1), (0.14, 0.1), (0.56, 0.6), (0.99, 1.0)],
+    )
+    def test_rounding(self, value, expected):
+        assert snap_to_grid(value) == pytest.approx(expected)
+
+    def test_clamps_before_snapping(self):
+        assert snap_to_grid(1.7) == 1.0
+        assert snap_to_grid(-0.3) == 0.0
+
+    def test_no_float_artifacts(self):
+        assert snap_to_grid(0.30000000001) == 0.3
+
+    def test_custom_step(self):
+        assert snap_to_grid(0.6, step=0.25) == 0.5
+
+    def test_bad_step(self):
+        with pytest.raises(FeatureError):
+            snap_to_grid(0.5, step=0.0)
+
+
+class TestLogLinear:
+    def test_anchors_exact(self):
+        low, high = (100.0, 0.1), (10000.0, 0.8)
+        assert log_linear(100.0, low, high) == pytest.approx(0.1)
+        assert log_linear(10000.0, low, high) == pytest.approx(0.8)
+
+    def test_midpoint_log_scale(self):
+        low, high = (10.0, 0.0), (1000.0, 1.0)
+        assert log_linear(100.0, low, high) == pytest.approx(0.5)
+
+    def test_clamped_above(self):
+        assert log_linear(1e12, (10.0, 0.0), (1000.0, 1.0)) == 1.0
+
+    def test_clamped_below(self):
+        # One decade below the low anchor extrapolates down the line.
+        assert log_linear(1.0, (10.0, 0.5), (1000.0, 1.0)) == pytest.approx(0.25)
+
+    def test_zero_value_returns_low_end(self):
+        assert log_linear(0.0, (10.0, 0.1), (1000.0, 1.0)) == 0.1
+
+    def test_bad_anchor_values(self):
+        with pytest.raises(FeatureError):
+            log_linear(5.0, (0.0, 0.1), (10.0, 1.0))
+
+    def test_coincident_anchors(self):
+        with pytest.raises(FeatureError):
+            log_linear(5.0, (10.0, 0.1), (10.0, 1.0))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(min_value=1e-3, max_value=1e12))
+def test_property_log_linear_bounded(value):
+    out = log_linear(value, (100.0, 0.1), (1e9, 0.9))
+    assert 0.0 <= out <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_property_snap_on_grid(value):
+    snapped = snap_to_grid(float(value))
+    assert 0.0 <= snapped <= 1.0
+    assert round(snapped * 10) == pytest.approx(snapped * 10)

@@ -1,0 +1,122 @@
+"""Tests for I-variable extraction, anchored to the paper's Figure 4."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FeatureError
+from repro.features.ivars import (
+    IVariables,
+    ivars_from_characteristics,
+    ivars_from_graph,
+    ivars_from_meta,
+)
+from repro.graph.datasets import get_dataset
+from repro.graph.generators import uniform_random_graph
+
+
+class TestPaperAnchors:
+    """The exact discretizations the paper states in Section III-B."""
+
+    def test_usa_cal(self):
+        iv = ivars_from_meta(get_dataset("usa-cal").paper)
+        assert iv.i1 == 0.1
+        assert iv.i2 == 0.1
+        assert iv.i3 == 0.0
+        assert iv.i4 == 0.8
+
+    def test_friendster(self):
+        iv = ivars_from_meta(get_dataset("friendster").paper)
+        assert iv.i1 == 0.8
+        assert iv.i2 == 0.8
+
+    def test_twitter_max_degree_is_one(self):
+        iv = ivars_from_meta(get_dataset("twitter").paper)
+        assert iv.i3 == 1.0
+
+    def test_rgg_diameter_is_one(self):
+        iv = ivars_from_meta(get_dataset("rgg-n-24").paper)
+        assert iv.i4 == 1.0
+
+    def test_low_diameter_graphs_near_zero_i4(self):
+        for name in ("facebook", "twitter", "cage14", "kron-large"):
+            iv = ivars_from_meta(get_dataset(name).paper)
+            assert iv.i4 <= 0.1
+
+
+class TestValidation:
+    def test_range_enforced(self):
+        with pytest.raises(FeatureError):
+            IVariables(1.5, 0.0, 0.0, 0.0)
+
+    def test_negative_characteristics_rejected(self):
+        with pytest.raises(FeatureError):
+            ivars_from_characteristics(-1, 10, 2, 3)
+
+    def test_as_dict_order(self):
+        iv = IVariables(0.1, 0.2, 0.3, 0.4)
+        assert list(iv.as_dict()) == ["I1", "I2", "I3", "I4"]
+
+    def test_as_vector(self):
+        iv = IVariables(0.1, 0.2, 0.3, 0.4)
+        assert iv.as_vector() == [0.1, 0.2, 0.3, 0.4]
+
+
+class TestDerivedQuantities:
+    def test_avg_degree_usa_cal_worked_example(self):
+        """Fig 7's derivation: CA resolves M20 to 1 (Avg.Deg = 1)."""
+        iv = ivars_from_meta(get_dataset("usa-cal").paper)
+        assert iv.avg_degree == pytest.approx(1.0)
+
+    def test_avg_deg_dia_usa_cal_worked_example(self):
+        """Fig 7: M5-7 resolve to 0.9 for the CA graph."""
+        iv = ivars_from_meta(get_dataset("usa-cal").paper)
+        assert iv.avg_deg_dia == pytest.approx(0.9)
+
+    def test_avg_degree_zero_i1_guard(self):
+        iv = IVariables(0.0, 0.5, 0.3, 0.0)
+        assert 0.0 <= iv.avg_degree <= 1.0
+
+    def test_ratio_clamped(self):
+        # I2/I1 would be 8 without the clamp.
+        iv = IVariables(0.1, 0.8, 0.2, 0.0)
+        assert iv.avg_degree == pytest.approx(abs(0.2 - 1.0))
+
+
+class TestFromGraph:
+    def test_measured_ivars_valid(self):
+        g = uniform_random_graph(500, 3000, seed=0)
+        iv = ivars_from_graph(g, seed=0)
+        for value in iv.as_vector():
+            assert 0.0 <= value <= 1.0
+
+    def test_explicit_diameter_used(self):
+        g = uniform_random_graph(500, 3000, seed=0)
+        small = ivars_from_graph(g, diameter=1)
+        large = ivars_from_graph(g, diameter=2622)
+        assert large.i4 > small.i4
+        assert large.i4 == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    v=st.integers(1, 10**9),
+    e=st.integers(1, 10**10),
+    deg=st.integers(0, 10**7),
+    dia=st.integers(0, 10**4),
+)
+def test_property_ivars_on_grid(v, e, deg, dia):
+    iv = ivars_from_characteristics(v, e, deg, dia)
+    for value in iv.as_vector():
+        assert 0.0 <= value <= 1.0
+        assert abs(value * 10 - round(value * 10)) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(v=st.integers(1, 10**8), factor=st.integers(2, 100))
+def test_property_i1_monotone_in_vertices(v, factor):
+    a = ivars_from_characteristics(v, 10, 1, 1).i1
+    b = ivars_from_characteristics(v * factor, 10, 1, 1).i1
+    assert b >= a

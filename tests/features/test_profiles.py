@@ -1,0 +1,91 @@
+"""Tests for per-benchmark B profiles against Figures 5 and 6."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownBenchmarkError
+from repro.features.bvars import PHASE_FIELDS
+from repro.features.profiles import (
+    BENCHMARK_DISPLAY_NAMES,
+    BENCHMARK_PROFILES,
+    benchmark_names,
+    get_profile,
+)
+
+
+class TestRegistry:
+    def test_nine_benchmarks(self):
+        assert len(BENCHMARK_PROFILES) == 9
+
+    def test_display_names_cover_all(self):
+        assert set(BENCHMARK_DISPLAY_NAMES) == set(BENCHMARK_PROFILES)
+
+    def test_lookup_by_display_name(self):
+        assert get_profile("SSSP-BF") is BENCHMARK_PROFILES["sssp_bf"]
+        assert get_profile("Tri.Cnt.") is BENCHMARK_PROFILES["triangle_counting"]
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(UnknownBenchmarkError):
+            get_profile("quicksort")
+
+    @pytest.mark.parametrize("name", list(BENCHMARK_PROFILES))
+    def test_phase_shares_sum_to_one(self, name):
+        profile = get_profile(name)
+        total = sum(getattr(profile, f) for f in PHASE_FIELDS)
+        assert total == pytest.approx(1.0)
+
+
+class TestFigure6SsspBf:
+    """Figure 6's explicit SSSP-BF discretization."""
+
+    def test_exact_values(self):
+        bv = get_profile("sssp_bf")
+        assert bv.b1 == 1.0
+        assert bv.b6 == 0.0
+        assert bv.b7 == 0.8
+        assert bv.b8 == 0.0
+        assert bv.b9 == 0.5
+        assert bv.b10 == 0.5
+        assert bv.b11 == 0.2
+        assert bv.b12 == 0.2
+        assert bv.b13 == 0.2
+
+
+class TestFigure5Claims:
+    """Structural claims the paper states in prose."""
+
+    def test_bfs_pure_pareto_division(self):
+        bv = get_profile("bfs")
+        assert bv.b3 == 1.0
+        assert bv.b1 == bv.b2 == bv.b4 == bv.b5 == 0.0
+
+    def test_dfs_pure_push_pop(self):
+        bv = get_profile("dfs")
+        assert bv.b4 == 1.0
+
+    def test_all_use_data_driven_accesses(self):
+        for name in benchmark_names():
+            assert get_profile(name).b7 > 0, name
+
+    def test_all_use_read_write_shared_data(self):
+        for name in benchmark_names():
+            assert get_profile(name).b10 > 0, name
+
+    def test_only_dfs_and_cc_use_indirect(self):
+        indirect = {
+            name for name in benchmark_names() if get_profile(name).b8 > 0
+        }
+        assert indirect == {"dfs", "connected_components"}
+
+    def test_fp_benchmarks(self):
+        fp = {name for name in benchmark_names() if get_profile(name).b6 > 0}
+        assert fp == {"pagerank", "pagerank_dp", "community"}
+
+    def test_sssp_delta_uses_push_pop_and_reduction(self):
+        bv = get_profile("sssp_delta")
+        assert bv.b4 > 0
+        assert bv.b5 > 0
+
+    def test_delta_more_contended_than_bf(self):
+        assert get_profile("sssp_delta").b12 > get_profile("sssp_bf").b12

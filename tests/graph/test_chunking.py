@@ -1,0 +1,106 @@
+"""Tests for Stinger-style graph chunking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.builders import from_edge_array
+from repro.graph.chunking import (
+    iter_chunks,
+    num_chunks_for_budget,
+    plan_chunks,
+)
+from repro.graph.generators import uniform_random_graph
+
+
+class TestPlanChunks:
+    def test_whole_graph_fits(self, random_graph):
+        ranges = plan_chunks(random_graph, 10**9)
+        assert ranges == [(0, random_graph.num_vertices)]
+
+    def test_budget_must_be_positive(self, random_graph):
+        with pytest.raises(GraphError):
+            plan_chunks(random_graph, 0)
+
+    def test_ranges_cover_all_vertices(self, random_graph):
+        ranges = plan_chunks(random_graph, 4096)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == random_graph.num_vertices
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start
+
+    def test_tiny_budget_one_vertex_chunks(self, random_graph):
+        ranges = plan_chunks(random_graph, 1)
+        assert len(ranges) == random_graph.num_vertices
+
+
+class TestNumChunks:
+    def test_empty_graph(self):
+        from repro.graph.builders import empty_graph
+
+        assert num_chunks_for_budget(empty_graph(0), 100) == 0
+
+    def test_fitting_graph_is_one_chunk(self, random_graph):
+        assert num_chunks_for_budget(random_graph, 10**9) == 1
+
+    def test_more_chunks_with_smaller_budget(self, random_graph):
+        few = num_chunks_for_budget(random_graph, 16384)
+        many = num_chunks_for_budget(random_graph, 2048)
+        assert many > few >= 1
+
+
+class TestIterChunks:
+    def test_chunks_preserve_edges(self, random_graph):
+        seen = []
+        for chunk in iter_chunks(random_graph, 4096):
+            sub = chunk.subgraph
+            for local_src in range(chunk.num_owned_vertices):
+                start = sub.indptr[local_src]
+                stop = sub.indptr[local_src + 1]
+                for dst in sub.indices[start:stop]:
+                    seen.append((local_src + chunk.vertex_start, int(dst)))
+        original = sorted(tuple(e) for e in random_graph.edges())
+        assert sorted(seen) == original
+
+    def test_chunk_indices_are_global(self, random_graph):
+        for chunk in iter_chunks(random_graph, 4096):
+            if chunk.subgraph.indices.size:
+                assert chunk.subgraph.indices.max() < random_graph.num_vertices
+
+    def test_footprints_within_budget(self):
+        g = uniform_random_graph(100, 500, seed=1)
+        budget = 2048
+        for chunk in iter_chunks(g, budget):
+            if chunk.num_owned_vertices > 1:
+                assert chunk.footprint_bytes <= budget
+
+    def test_indices_sequential(self, random_graph):
+        chunks = list(iter_chunks(random_graph, 8192))
+        assert [c.index for c in chunks] == list(range(len(chunks)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 40),
+    m=st.integers(0, 120),
+    budget=st.integers(64, 4096),
+    seed=st.integers(0, 50),
+)
+def test_property_chunks_partition_vertices(n, m, budget, seed):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(m, 2))
+    graph = from_edge_array(n, edges)
+    ranges = plan_chunks(graph, budget)
+    covered = []
+    for start, stop in ranges:
+        assert start < stop
+        covered.extend(range(start, stop))
+    assert covered == list(range(n))
+    total_edges = sum(
+        chunk.subgraph.indices.size for chunk in iter_chunks(graph, budget)
+    )
+    assert total_edges == graph.num_edges

@@ -1,0 +1,193 @@
+"""Unit and property tests for the CSR graph structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.builders import from_edge_array, from_edge_list
+from repro.graph.csr import CSRGraph
+
+
+def _graph(edges, n, weights=None):
+    return from_edge_array(n, np.asarray(edges, dtype=np.int64), weights)
+
+
+class TestConstruction:
+    def test_basic_counts(self, diamond_graph):
+        assert diamond_graph.num_vertices == 4
+        assert diamond_graph.num_edges == 4
+
+    def test_empty_graph(self):
+        g = CSRGraph(
+            np.zeros(1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
+        )
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                np.array([1, 2], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                np.array([1.0]),
+            )
+
+    def test_indices_length_checked(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                np.array([0, 2], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                np.array([1.0]),
+            )
+
+    def test_weights_length_checked(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                np.array([0, 1], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                np.array([1.0, 2.0]),
+            )
+
+    def test_indptr_monotonic_checked(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                np.array([0, 2, 1, 3], dtype=np.int64),
+                np.arange(3, dtype=np.int64) % 3,
+                np.ones(3),
+            )
+
+    def test_destination_range_checked(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                np.array([0, 1], dtype=np.int64),
+                np.array([5], dtype=np.int64),
+                np.array([1.0]),
+            )
+
+    def test_empty_indptr_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0),
+            )
+
+    def test_arrays_read_only(self, diamond_graph):
+        with pytest.raises(ValueError):
+            diamond_graph.indices[0] = 3
+        with pytest.raises(ValueError):
+            diamond_graph.weights[0] = 9.0
+
+
+class TestAccessors:
+    def test_out_degree_scalar(self, diamond_graph):
+        assert diamond_graph.out_degree(0) == 2
+        assert diamond_graph.out_degree(3) == 0
+
+    def test_out_degree_array(self, diamond_graph):
+        assert list(diamond_graph.out_degree()) == [2, 1, 1, 0]
+
+    def test_out_degree_out_of_range(self, diamond_graph):
+        with pytest.raises(GraphError):
+            diamond_graph.out_degree(99)
+
+    def test_neighbors(self, diamond_graph):
+        assert sorted(diamond_graph.neighbors(0)) == [1, 2]
+        assert list(diamond_graph.neighbors(3)) == []
+
+    def test_neighbors_out_of_range(self, diamond_graph):
+        with pytest.raises(GraphError):
+            diamond_graph.neighbors(-1)
+
+    def test_edge_weights_aligned(self, diamond_graph):
+        nbrs = list(diamond_graph.neighbors(0))
+        wts = list(diamond_graph.edge_weights(0))
+        pairs = dict(zip(nbrs, wts))
+        assert pairs == {1: 1.0, 2: 4.0}
+
+    def test_edge_weights_out_of_range(self, diamond_graph):
+        with pytest.raises(GraphError):
+            diamond_graph.edge_weights(4)
+
+    def test_edges_roundtrip(self, diamond_graph):
+        edges = {tuple(e) for e in diamond_graph.edges()}
+        assert edges == {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+    def test_memory_footprint_positive(self, diamond_graph):
+        assert diamond_graph.memory_footprint_bytes() > 0
+
+
+class TestTransforms:
+    def test_reverse_flips_edges(self, diamond_graph):
+        rev = diamond_graph.reverse()
+        edges = {tuple(e) for e in rev.edges()}
+        assert edges == {(1, 0), (2, 0), (3, 1), (3, 2)}
+
+    def test_reverse_preserves_weights(self, diamond_graph):
+        rev = diamond_graph.reverse()
+        # edge (0, 2) weight 4 becomes (2, 0) weight 4
+        nbrs = list(rev.neighbors(2))
+        wts = list(rev.edge_weights(2))
+        assert dict(zip(nbrs, wts))[0] == 4.0
+
+    def test_double_reverse_identity(self, random_graph):
+        twice = random_graph.reverse().reverse()
+        assert np.array_equal(twice.indptr, random_graph.indptr)
+        assert np.array_equal(twice.indices, random_graph.indices)
+
+    def test_to_undirected_symmetric(self, path_graph):
+        sym = path_graph.to_undirected()
+        edges = {tuple(e) for e in sym.edges()}
+        for u, v in list(edges):
+            assert (v, u) in edges
+
+    def test_to_undirected_no_duplicates(self, triangle_graph):
+        sym = triangle_graph.to_undirected()
+        edges = [tuple(e) for e in sym.edges()]
+        assert len(edges) == len(set(edges))
+
+    def test_to_undirected_idempotent_edge_count(self, random_graph):
+        once = random_graph.to_undirected()
+        twice = once.to_undirected()
+        assert once.num_edges == twice.num_edges
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=30),
+    data=st.data(),
+)
+def test_property_csr_roundtrip(n, data):
+    """Edges in == edges out, for arbitrary small edge lists."""
+    edges = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            max_size=60,
+        )
+    )
+    graph = from_edge_list(n, edges) if edges else None
+    if graph is None:
+        return
+    out = sorted(tuple(e) for e in graph.edges())
+    assert out == sorted(edges)
+    assert int(np.asarray(graph.out_degree()).sum()) == len(edges)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 25), m=st.integers(0, 80), seed=st.integers(0, 99))
+def test_property_reverse_preserves_degree_sum(n, m, seed):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(m, 2))
+    graph = from_edge_array(n, edges)
+    rev = graph.reverse()
+    assert rev.num_edges == graph.num_edges
+    in_deg = np.bincount(graph.indices, minlength=n)
+    assert np.array_equal(np.asarray(rev.out_degree()), in_deg)

@@ -1,0 +1,109 @@
+"""Tests for the Table I dataset registry and its proxies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownDatasetError
+from repro.graph.datasets import (
+    DATASETS,
+    dataset_codes,
+    dataset_names,
+    get_dataset,
+    load_proxy_graph,
+)
+from repro.graph.diameter import approximate_diameter
+from repro.graph.properties import compute_stats
+
+# Table I's published values, for auditing the registry against the paper.
+PAPER_TABLE1 = {
+    "usa-cal": (1_900_000, 4_700_000, 12, 850),
+    "facebook": (2_900_000, 41_900_000, 90_000, 12),
+    "livejournal": (4_800_000, 85_700_000, 20_000, 16),
+    "twitter": (41_700_000, 1_470_000_000, 3_000_000, 5),
+    "friendster": (65_600_000, 1_810_000_000, 5_200, 32),
+    "m-ret-3": (562, 570_000, 1027, 1),
+    "cage14": (1_500_000, 25_600_000, 80, 8),
+    "rgg-n-24": (16_800_000, 387_000_000, 40, 2622),
+    "kron-large": (134_000_000, 2_150_000_000, 16_000_000, 12),
+}
+
+
+class TestRegistry:
+    def test_all_nine_datasets(self):
+        assert len(DATASETS) == 9
+        assert set(dataset_names()) == set(PAPER_TABLE1)
+
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE1))
+    def test_paper_metadata_matches_table1(self, name):
+        spec = get_dataset(name)
+        v, e, deg, dia = PAPER_TABLE1[name]
+        assert spec.paper.num_vertices == v
+        assert spec.paper.num_edges == e
+        assert spec.paper.max_degree == deg
+        assert spec.paper.diameter == dia
+
+    def test_lookup_by_code(self):
+        assert get_dataset("CA").name == "usa-cal"
+        assert get_dataset("Twtr").name == "twitter"
+
+    def test_lookup_case_insensitive(self):
+        assert get_dataset("FACEBOOK").name == "facebook"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(UnknownDatasetError):
+            get_dataset("enron")
+
+    def test_codes_unique(self):
+        codes = list(dataset_codes().values())
+        assert len(codes) == len(set(codes))
+
+    def test_avg_degree_property(self):
+        spec = get_dataset("usa-cal")
+        assert spec.paper.avg_degree == pytest.approx(4.7 / 1.9, rel=1e-6)
+
+
+class TestProxies:
+    def test_proxy_cached(self):
+        a = load_proxy_graph("usa-cal")
+        b = load_proxy_graph("usa-cal")
+        assert a is b
+
+    def test_proxy_named_after_dataset(self):
+        assert load_proxy_graph("cage14").name == "cage14"
+
+    def test_road_proxy_structure(self):
+        stats = compute_stats(load_proxy_graph("usa-cal"))
+        assert stats.max_degree <= 12  # matches Table I's 12
+        assert stats.avg_degree < 6
+
+    def test_road_proxy_diameter_dominates(self):
+        dia = approximate_diameter(load_proxy_graph("usa-cal"), seed=0)
+        for other in ("facebook", "cage14", "twitter"):
+            other_dia = approximate_diameter(load_proxy_graph(other), seed=0)
+            assert dia > 3 * other_dia
+
+    def test_twitter_proxy_extreme_hubs(self):
+        stats = compute_stats(load_proxy_graph("twitter"))
+        # Twitter's published max degree is ~7% of V; the proxy preserves
+        # that ratio within a factor of two.
+        assert stats.max_degree / stats.num_vertices > 0.03
+
+    def test_connectome_proxy_dense(self):
+        stats = compute_stats(load_proxy_graph("m-ret-3"))
+        assert stats.num_vertices == 562
+        assert stats.avg_degree > 50
+
+    def test_kron_proxy_skewed(self):
+        stats = compute_stats(load_proxy_graph("kron-large"))
+        assert stats.degree_gini > 0.5
+
+    def test_cage_proxy_uniform(self):
+        stats = compute_stats(load_proxy_graph("cage14"))
+        assert stats.degree_gini < 0.2
+
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE1))
+    def test_proxies_are_tractable(self, name):
+        graph = load_proxy_graph(name)
+        assert graph.num_vertices <= 40_000
+        assert graph.num_edges <= 1_200_000

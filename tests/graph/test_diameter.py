@@ -1,0 +1,93 @@
+"""Tests for BFS levels and diameter computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builders import from_edge_list
+from repro.graph.diameter import (
+    approximate_diameter,
+    bfs_levels,
+    eccentricity,
+    exact_diameter,
+)
+from repro.graph.generators import road_network_graph
+
+
+class TestBfsLevels:
+    def test_path(self, path_graph):
+        levels = bfs_levels(path_graph, 0)
+        assert list(levels) == [0, 1, 2, 3, 4, 5]
+
+    def test_unreachable_is_minus_one(self, path_graph):
+        levels = bfs_levels(path_graph, 3)
+        assert list(levels[:3]) == [-1, -1, -1]
+        assert list(levels[3:]) == [0, 1, 2]
+
+    def test_source_out_of_range(self, path_graph):
+        with pytest.raises(GraphError):
+            bfs_levels(path_graph, 100)
+
+    def test_cycle(self, cycle_graph):
+        levels = bfs_levels(cycle_graph, 0)
+        assert list(levels) == [0, 1, 2, 3, 4]
+
+
+class TestEccentricity:
+    def test_path_ends(self, path_graph):
+        assert eccentricity(path_graph, 0) == 5
+        assert eccentricity(path_graph, 5) == 0
+
+    def test_cycle_uniform(self, cycle_graph):
+        assert all(
+            eccentricity(cycle_graph, v) == 4 for v in range(5)
+        )
+
+
+class TestExactDiameter:
+    def test_path(self, path_graph):
+        assert exact_diameter(path_graph) == 5
+
+    def test_cycle(self, cycle_graph):
+        assert exact_diameter(cycle_graph) == 4
+
+    def test_disconnected_uses_largest_component(self, disconnected_graph):
+        assert exact_diameter(disconnected_graph) == 2
+
+    def test_star(self):
+        g = from_edge_list(5, [(0, i) for i in range(1, 5)])
+        assert exact_diameter(g) == 1
+
+
+class TestApproximateDiameter:
+    def test_lower_bound_on_path(self, path_graph):
+        # On a directed path many starts reach nothing, so sweep widely.
+        approx = approximate_diameter(path_graph, num_sweeps=10, seed=0)
+        assert approx <= exact_diameter(path_graph)
+        assert approx >= 2
+
+    def test_empty_graph(self):
+        from repro.graph.builders import empty_graph
+
+        assert approximate_diameter(empty_graph(0)) == 0
+
+    def test_isolated_vertices(self):
+        from repro.graph.builders import empty_graph
+
+        assert approximate_diameter(empty_graph(5), seed=3) == 0
+
+    def test_deterministic_for_seed(self, random_graph):
+        a = approximate_diameter(random_graph, num_sweeps=3, seed=9)
+        b = approximate_diameter(random_graph, num_sweeps=3, seed=9)
+        assert a == b
+
+    def test_never_exceeds_exact(self):
+        g = road_network_graph(8, 8, seed=5)
+        approx = approximate_diameter(g, num_sweeps=4, seed=1)
+        assert approx <= exact_diameter(g)
+
+    def test_road_network_large_diameter(self):
+        g = road_network_graph(30, 30, seed=2)
+        assert approximate_diameter(g, num_sweeps=3, seed=0) >= 30

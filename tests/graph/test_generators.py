@@ -1,0 +1,214 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    GENERATORS,
+    banded_graph,
+    generator_names,
+    kronecker_graph,
+    make_graph,
+    random_geometric_graph,
+    road_network_graph,
+    social_network_graph,
+    uniform_random_graph,
+)
+from repro.graph.properties import compute_stats
+
+
+class TestUniform:
+    def test_deterministic(self):
+        a = uniform_random_graph(100, 500, seed=3)
+        b = uniform_random_graph(100, 500, seed=3)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_different_seeds_differ(self):
+        a = uniform_random_graph(100, 500, seed=3)
+        b = uniform_random_graph(100, 500, seed=4)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_no_self_loops(self):
+        g = uniform_random_graph(50, 400, seed=1)
+        edges = g.edges()
+        assert not np.any(edges[:, 0] == edges[:, 1])
+
+    def test_weights_in_range(self):
+        g = uniform_random_graph(50, 200, seed=0, max_weight=8)
+        assert g.weights.min() >= 1.0
+        assert g.weights.max() <= 8.0
+
+    def test_unweighted(self):
+        g = uniform_random_graph(50, 200, seed=0, weighted=False)
+        assert np.allclose(g.weights, 1.0)
+
+    def test_zero_edges(self):
+        g = uniform_random_graph(10, 0, seed=0)
+        assert g.num_edges == 0
+
+    def test_edges_in_empty_vertex_set_rejected(self):
+        with pytest.raises(GraphError):
+            uniform_random_graph(0, 10, seed=0)
+
+    def test_negative_edges_rejected(self):
+        with pytest.raises(GraphError):
+            uniform_random_graph(10, -1, seed=0)
+
+
+class TestKronecker:
+    def test_vertex_count_is_power_of_two(self):
+        g = kronecker_graph(8, 4, seed=0)
+        assert g.num_vertices == 256
+
+    def test_skewed_degrees(self):
+        g = kronecker_graph(10, 16, seed=1)
+        stats = compute_stats(g)
+        assert stats.degree_gini > 0.4
+        assert stats.max_degree > 8 * stats.avg_degree
+
+    def test_scale_bounds(self):
+        with pytest.raises(GraphError):
+            kronecker_graph(0, 4)
+        with pytest.raises(GraphError):
+            kronecker_graph(31, 4)
+
+    def test_bad_probabilities(self):
+        with pytest.raises(GraphError):
+            kronecker_graph(5, 4, a=0.9, b=0.9, c=0.9)
+
+    def test_deterministic(self):
+        a = kronecker_graph(7, 8, seed=5)
+        b = kronecker_graph(7, 8, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+
+
+class TestRoad:
+    def test_high_diameter_low_degree(self):
+        g = road_network_graph(20, 20, seed=0)
+        stats = compute_stats(g)
+        assert stats.max_degree <= 12
+        assert stats.avg_degree < 5
+
+    def test_dimensions_checked(self):
+        with pytest.raises(GraphError):
+            road_network_graph(0, 5)
+
+    def test_removal_fraction_checked(self):
+        with pytest.raises(GraphError):
+            road_network_graph(5, 5, removal_fraction=1.0)
+
+    def test_bidirectional_streets(self):
+        g = road_network_graph(6, 6, seed=1, removal_fraction=0.0,
+                               highway_fraction=0.0)
+        edges = {tuple(e) for e in g.edges()}
+        for u, v in list(edges):
+            assert (v, u) in edges
+
+
+class TestSocial:
+    def test_hubby_degrees(self):
+        g = social_network_graph(2000, 10, seed=0, hub_degree_share=0.05)
+        stats = compute_stats(g)
+        assert stats.max_degree >= 0.04 * stats.num_vertices
+
+    def test_minimum_vertices(self):
+        with pytest.raises(GraphError):
+            social_network_graph(1, 4)
+
+    def test_skew_bound(self):
+        with pytest.raises(GraphError):
+            social_network_graph(100, 4, skew=0.5)
+
+    def test_hub_share_bounds(self):
+        with pytest.raises(GraphError):
+            social_network_graph(100, 4, hub_degree_share=1.5)
+
+    def test_no_hubs_when_share_zero(self):
+        g = social_network_graph(
+            500, 6, seed=2, hub_fraction=0.0, hub_degree_share=0.0
+        )
+        stats = compute_stats(g)
+        assert stats.max_degree < 0.2 * stats.num_vertices
+
+
+class TestRgg:
+    def test_target_degree(self):
+        g = random_geometric_graph(1500, target_avg_degree=12.0, seed=0)
+        stats = compute_stats(g)
+        assert 6 <= stats.avg_degree <= 20
+
+    def test_radius_and_degree_mutually_exclusive(self):
+        with pytest.raises(GraphError):
+            random_geometric_graph(100, radius=0.1, target_avg_degree=5.0)
+        with pytest.raises(GraphError):
+            random_geometric_graph(100)
+
+    def test_symmetric(self):
+        g = random_geometric_graph(300, radius=0.08, seed=1)
+        edges = {tuple(e) for e in g.edges()}
+        for u, v in list(edges):
+            assert (v, u) in edges
+
+    def test_bad_sizes(self):
+        with pytest.raises(GraphError):
+            random_geometric_graph(0, radius=0.1)
+        with pytest.raises(GraphError):
+            random_geometric_graph(10, radius=-1.0)
+
+
+class TestBanded:
+    def test_uniform_degrees(self):
+        g = banded_graph(1000, 12, seed=0)
+        stats = compute_stats(g)
+        assert stats.degree_gini < 0.15
+        assert stats.max_degree < 3 * stats.avg_degree
+
+    def test_band_locality(self):
+        g = banded_graph(1000, 8, bandwidth=20, long_range_fraction=0.0, seed=0)
+        edges = g.edges()
+        assert np.abs(edges[:, 0] - edges[:, 1]).max() <= 20
+
+    def test_bad_args(self):
+        with pytest.raises(GraphError):
+            banded_graph(0, 4)
+        with pytest.raises(GraphError):
+            banded_graph(10, 0)
+        with pytest.raises(GraphError):
+            banded_graph(10, 4, bandwidth=0)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(generator_names()) == {
+            "uniform", "kronecker", "road", "social", "rgg", "cage",
+        }
+
+    def test_make_graph_dispatch(self):
+        g = make_graph("uniform", num_vertices=20, num_edges=40, seed=0)
+        assert g.num_vertices == 20
+
+    def test_unknown_family(self):
+        with pytest.raises(GraphError):
+            make_graph("nope")
+
+    def test_all_generators_registered_callable(self):
+        assert all(callable(fn) for fn in GENERATORS.values())
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(2, 60),
+    m=st.integers(0, 150),
+    seed=st.integers(0, 30),
+)
+def test_property_uniform_valid_csr(n, m, seed):
+    g = uniform_random_graph(n, m, seed=seed)
+    assert g.num_vertices == n
+    assert g.num_edges <= m
+    if g.num_edges:
+        assert g.indices.max() < n

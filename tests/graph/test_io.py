@@ -1,0 +1,101 @@
+"""Tests for edge-list file IO."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+class TestReadEdgeList:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n% other\n\n0 1\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 1
+
+    def test_weighted(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 3.5\n1 0 2.0\n")
+        g = read_edge_list(path)
+        assert g.edge_weights(0)[0] == 3.5
+
+    def test_explicit_vertex_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1\n")
+        assert read_edge_list(path).name == "mygraph"
+
+    def test_inconsistent_columns(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n0 1 2.0\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_wrong_column_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_non_integer_id(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_negative_id(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("-1 0\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_non_numeric_weight(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 heavy\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        g = read_edge_list(path)
+        assert g.num_vertices == 0
+
+
+class TestWriteReadRoundtrip:
+    def test_unweighted_roundtrip(self, tmp_path, random_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(random_graph, path)
+        back = read_edge_list(path, num_vertices=random_graph.num_vertices)
+        assert back.num_edges == random_graph.num_edges
+        assert {tuple(e) for e in back.edges()} == {
+            tuple(e) for e in random_graph.edges()
+        }
+
+    def test_weighted_roundtrip(self, tmp_path, diamond_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(diamond_graph, path, write_weights=True)
+        back = read_edge_list(path)
+        assert back.num_edges == diamond_graph.num_edges
+        assert back.edge_weights(0)[1] == 4.0
+
+    def test_header_written(self, tmp_path, diamond_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(diamond_graph, path)
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("#")
+        assert "4 vertices" in first

@@ -1,0 +1,83 @@
+"""Tests for structural graph statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builders import empty_graph, from_edge_list
+from repro.graph.properties import (
+    compute_stats,
+    degree_histogram,
+    gini_coefficient,
+)
+
+
+class TestComputeStats:
+    def test_diamond(self, diamond_graph):
+        stats = compute_stats(diamond_graph)
+        assert stats.num_vertices == 4
+        assert stats.num_edges == 4
+        assert stats.max_degree == 2
+        assert stats.avg_degree == 1.0
+        assert stats.isolated_fraction == 0.25
+
+    def test_empty(self):
+        stats = compute_stats(empty_graph(0))
+        assert stats.num_vertices == 0
+        assert stats.avg_degree == 0.0
+
+    def test_isolated_only(self):
+        stats = compute_stats(empty_graph(5))
+        assert stats.isolated_fraction == 1.0
+        assert stats.max_degree == 0
+
+    def test_regular_graph_zero_gini(self, cycle_graph):
+        stats = compute_stats(cycle_graph)
+        assert stats.degree_gini == 0.0
+
+    def test_hub_graph_positive_gini(self):
+        g = from_edge_list(10, [(0, i) for i in range(1, 10)])
+        stats = compute_stats(g)
+        assert stats.degree_gini > 0.5
+
+
+class TestDegreeHistogram:
+    def test_path(self, path_graph):
+        hist = degree_histogram(path_graph)
+        assert hist[1] == 5  # five vertices of degree 1
+        assert hist[0] == 1  # the sink
+
+    def test_empty(self):
+        hist = degree_histogram(empty_graph(0))
+        assert hist.sum() == 0
+
+
+class TestGini:
+    def test_uniform_zero(self):
+        assert gini_coefficient(np.full(10, 3.0)) == 0.0
+
+    def test_empty_zero(self):
+        assert gini_coefficient(np.zeros(0)) == 0.0
+
+    def test_all_zero(self):
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_single_hub_near_one(self):
+        values = np.zeros(100)
+        values[0] = 1000.0
+        assert gini_coefficient(values) > 0.9
+
+    def test_scale_invariant(self, rng):
+        values = rng.random(50)
+        a = gini_coefficient(values)
+        b = gini_coefficient(values * 1000)
+        assert abs(a - b) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=50))
+def test_property_gini_in_unit_interval(values):
+    g = gini_coefficient(np.asarray(values))
+    assert 0.0 <= g <= 1.0

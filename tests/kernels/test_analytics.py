@@ -1,0 +1,133 @@
+"""Correctness tests for triangle counting, community detection, and
+connected components."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import connected_components as scipy_components
+
+from repro.graph.builders import from_edge_list
+from repro.graph.generators import social_network_graph, uniform_random_graph
+from repro.kernels import (
+    CommunityDetection,
+    ConnectedComponents,
+    TriangleCounting,
+)
+from repro.workload.phases import PhaseKind
+
+
+def networkx_triangles(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(
+        (int(u), int(v)) for u, v in graph.edges() if u != v
+    )
+    return sum(nx.triangles(g).values()) // 3
+
+
+class TestTriangleCounting:
+    def test_single_triangle(self, triangle_graph):
+        assert TriangleCounting().run(triangle_graph).output == 1
+
+    def test_no_triangles_in_path(self, path_graph):
+        assert TriangleCounting().run(path_graph).output == 0
+
+    def test_complete_graph(self):
+        n = 6
+        edges = [(i, j) for i in range(n) for j in range(n) if i != j]
+        g = from_edge_list(n, edges)
+        assert TriangleCounting().run(g).output == n * (n - 1) * (n - 2) // 6
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx_random(self, seed):
+        graph = uniform_random_graph(120, 1500, seed=seed)
+        assert TriangleCounting().run(graph).output == networkx_triangles(graph)
+
+    def test_matches_networkx_social(self):
+        graph = social_network_graph(400, 8, seed=1)
+        assert TriangleCounting().run(graph).output == networkx_triangles(graph)
+
+    def test_trace_reduction_dominates(self, random_graph):
+        trace = TriangleCounting().run(random_graph).trace
+        kinds = [p.kind for p in trace.phases]
+        assert PhaseKind.REDUCTION in kinds
+        reduction = trace.phases[kinds.index(PhaseKind.REDUCTION)]
+        assert reduction.items >= trace.phases[0].items
+
+
+class TestConnectedComponents:
+    def _reference_count(self, graph):
+        matrix = csr_matrix(
+            (np.ones(graph.num_edges), graph.indices, graph.indptr),
+            shape=(graph.num_vertices, graph.num_vertices),
+        )
+        return scipy_components(matrix, directed=False)[0]
+
+    def test_disconnected(self, disconnected_graph):
+        result = ConnectedComponents().run(disconnected_graph)
+        assert result.stats["components"] == 3
+
+    def test_single_component(self, cycle_graph):
+        result = ConnectedComponents().run(cycle_graph)
+        assert result.stats["components"] == 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scipy(self, seed):
+        graph = uniform_random_graph(200, 300, seed=seed)
+        result = ConnectedComponents().run(graph)
+        assert result.stats["components"] == self._reference_count(graph)
+
+    def test_labels_consistent_within_component(self, disconnected_graph):
+        labels = ConnectedComponents().run(disconnected_graph).output
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3] != labels[5]
+
+    def test_label_is_min_vertex_id(self, cycle_graph):
+        labels = ConnectedComponents().run(cycle_graph).output
+        assert set(labels) == {0}
+
+    def test_trace_has_indirect_hooking_phase(self, random_graph):
+        trace = ConnectedComponents().run(random_graph).trace
+        kinds = [p.kind for p in trace.phases]
+        assert kinds == [PhaseKind.VERTEX_DIVISION, PhaseKind.REDUCTION]
+
+
+class TestCommunityDetection:
+    def test_two_cliques_two_communities(self):
+        clique_a = [(i, j) for i in range(4) for j in range(4) if i != j]
+        clique_b = [
+            (i, j) for i in range(4, 8) for j in range(4, 8) if i != j
+        ]
+        bridge = [(3, 4), (4, 3)]
+        g = from_edge_list(8, clique_a + clique_b + bridge)
+        labels = CommunityDetection().run(g).output
+        assert len(set(labels[:4])) == 1
+        assert len(set(labels[4:])) == 1
+
+    def test_converges(self, random_graph):
+        result = CommunityDetection().run(random_graph, max_iterations=30)
+        assert result.stats["iterations"] <= 30
+
+    def test_labels_are_existing_vertices(self, random_graph):
+        labels = CommunityDetection().run(random_graph).output
+        assert labels.min() >= 0
+        assert labels.max() < random_graph.num_vertices
+
+    def test_isolated_vertex_keeps_own_label(self):
+        g = from_edge_list(3, [(0, 1), (1, 0)])
+        labels = CommunityDetection().run(g).output
+        assert labels[2] == 2
+
+    def test_trace_phases(self, random_graph):
+        trace = CommunityDetection().run(random_graph).trace
+        kinds = [p.kind for p in trace.phases]
+        assert kinds == [PhaseKind.VERTEX_DIVISION, PhaseKind.REDUCTION]
+
+    def test_deterministic(self, random_graph):
+        a = CommunityDetection().run(random_graph).output
+        b = CommunityDetection().run(random_graph).output
+        assert np.array_equal(a, b)

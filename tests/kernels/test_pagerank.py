@@ -1,0 +1,101 @@
+"""Correctness tests for PageRank and PageRank-Delta."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import uniform_random_graph
+from repro.kernels import PageRank, PageRankDelta
+from repro.workload.phases import PhaseKind
+
+
+def networkx_pagerank(graph, damping=0.85):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from((int(u), int(v)) for u, v in graph.edges())
+    scores = nx.pagerank(g, alpha=damping, tol=1e-12, max_iter=200)
+    return np.array([scores[i] for i in range(graph.num_vertices)])
+
+
+class TestPageRankCorrectness:
+    def test_sums_to_one(self, random_graph):
+        result = PageRank().run(random_graph)
+        assert result.output.sum() == pytest.approx(1.0)
+
+    def test_matches_networkx(self, random_graph):
+        ours = PageRank().run(random_graph, tolerance=1e-12, max_iterations=200)
+        reference = networkx_pagerank(random_graph)
+        assert np.allclose(ours.output, reference, atol=1e-6)
+
+    def test_dangling_vertices_handled(self, path_graph):
+        result = PageRank().run(path_graph)
+        assert result.output.sum() == pytest.approx(1.0)
+        # Later path vertices accumulate rank from upstream.
+        assert result.output[5] > result.output[0]
+
+    def test_hub_ranks_higher(self):
+        from repro.graph.builders import from_edge_list
+
+        g = from_edge_list(5, [(i, 0) for i in range(1, 5)])
+        result = PageRank().run(g)
+        assert np.argmax(result.output) == 0
+
+    def test_bad_damping(self, random_graph):
+        with pytest.raises(GraphError):
+            PageRank().run(random_graph, damping=1.5)
+
+    def test_empty_graph_rejected(self):
+        from repro.graph.builders import empty_graph
+
+        with pytest.raises(GraphError):
+            PageRank().run(empty_graph(0))
+
+
+class TestPageRankTrace:
+    def test_two_phases(self, random_graph):
+        trace = PageRank().run(random_graph).trace
+        kinds = [p.kind for p in trace.phases]
+        assert kinds == [PhaseKind.VERTEX_DIVISION, PhaseKind.REDUCTION]
+
+    def test_scatter_covers_edges_each_iteration(self, random_graph):
+        result = PageRank().run(random_graph)
+        iterations = result.stats["iterations"]
+        assert result.trace.phases[0].edges == pytest.approx(
+            random_graph.num_edges * iterations
+        )
+
+
+class TestPageRankDelta:
+    def test_matches_power_iteration(self, random_graph):
+        power = PageRank().run(
+            random_graph, tolerance=1e-12, max_iterations=200
+        )
+        delta = PageRankDelta().run(
+            random_graph, tolerance=1e-12, max_iterations=200
+        )
+        assert np.allclose(power.output, delta.output, atol=1e-5)
+
+    def test_sums_to_one(self, random_graph):
+        result = PageRankDelta().run(random_graph)
+        assert result.output.sum() == pytest.approx(1.0)
+
+    def test_active_set_shrinks(self):
+        graph = uniform_random_graph(300, 2400, seed=7)
+        result = PageRankDelta().run(graph, tolerance=1e-6)
+        # Total processed items are well below V * iterations once the
+        # active set decays.
+        scatter = result.trace.phases[0]
+        assert scatter.items < graph.num_vertices * result.stats["iterations"]
+
+    def test_bad_damping(self, random_graph):
+        with pytest.raises(GraphError):
+            PageRankDelta().run(random_graph, damping=0.0)
+
+    def test_empty_graph_rejected(self):
+        from repro.graph.builders import empty_graph
+
+        with pytest.raises(GraphError):
+            PageRankDelta().run(empty_graph(0))

@@ -1,0 +1,47 @@
+"""Tests for the kernel registry and cross-kernel conventions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownBenchmarkError
+from repro.features.profiles import BENCHMARK_PROFILES
+from repro.kernels import KERNELS, get_kernel, kernel_names
+
+
+class TestRegistry:
+    def test_nine_kernels(self):
+        assert len(KERNELS) == 9
+
+    def test_names_match_profiles(self):
+        assert set(kernel_names()) == set(BENCHMARK_PROFILES)
+
+    def test_get_kernel_instantiates(self):
+        kernel = get_kernel("sssp_bf")
+        assert kernel.name == "sssp_bf"
+
+    def test_lookup_normalization(self):
+        assert get_kernel("SSSP-BF").name == "sssp_bf"
+        assert get_kernel("PageRank_DP").name == "pagerank_dp"
+
+    def test_unknown(self):
+        with pytest.raises(UnknownBenchmarkError):
+            get_kernel("matmul")
+
+    @pytest.mark.parametrize("name", list(KERNELS))
+    def test_every_kernel_runs_and_traces(self, name, random_graph):
+        result = get_kernel(name).run(random_graph)
+        trace = result.trace
+        assert trace.benchmark == name
+        assert trace.graph_name == random_graph.name
+        assert trace.num_iterations >= 1
+        for phase in trace.phases:
+            assert phase.items >= 0
+            assert phase.edges >= 0
+            assert phase.max_parallelism >= 1
+            assert 0.0 <= phase.work_skew <= 1.0
+
+    @pytest.mark.parametrize("name", list(KERNELS))
+    def test_trace_only_shortcut(self, name, random_graph):
+        trace = get_kernel(name).trace_only(random_graph)
+        assert trace.benchmark == name

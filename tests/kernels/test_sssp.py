@@ -1,0 +1,128 @@
+"""Correctness and trace tests for the two SSSP kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.errors import GraphError
+from repro.graph.generators import road_network_graph, uniform_random_graph
+from repro.kernels import SsspBellmanFord, SsspDeltaStepping
+from repro.workload.phases import PhaseKind
+
+
+def reference_distances(graph, source=0):
+    matrix = csr_matrix(
+        (graph.weights, graph.indices, graph.indptr),
+        shape=(graph.num_vertices, graph.num_vertices),
+    )
+    return dijkstra(matrix, indices=source)
+
+
+def assert_distances_equal(actual, expected):
+    finite = np.isfinite(expected)
+    assert np.array_equal(np.isfinite(actual), finite)
+    assert np.allclose(actual[finite], expected[finite])
+
+
+class TestBellmanFordCorrectness:
+    def test_diamond(self, diamond_graph):
+        result = SsspBellmanFord().run(diamond_graph, source=0)
+        assert list(result.output) == [0.0, 1.0, 4.0, 2.0]
+
+    def test_path(self, path_graph):
+        result = SsspBellmanFord().run(path_graph, source=0)
+        assert list(result.output) == [0, 1, 2, 3, 4, 5]
+
+    def test_unreachable_inf(self, path_graph):
+        result = SsspBellmanFord().run(path_graph, source=2)
+        assert np.isinf(result.output[0])
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dijkstra_random(self, seed):
+        graph = uniform_random_graph(150, 1200, seed=seed)
+        result = SsspBellmanFord().run(graph, source=0)
+        assert_distances_equal(result.output, reference_distances(graph))
+
+    def test_matches_dijkstra_road(self):
+        graph = road_network_graph(10, 10, seed=3)
+        result = SsspBellmanFord().run(graph, source=0)
+        assert_distances_equal(result.output, reference_distances(graph))
+
+    def test_bad_source(self, path_graph):
+        with pytest.raises(GraphError):
+            SsspBellmanFord().run(path_graph, source=-1)
+
+
+class TestBellmanFordTrace:
+    def test_single_vertex_division_phase(self, random_graph):
+        trace = SsspBellmanFord().run(random_graph).trace
+        assert len(trace.phases) == 1
+        assert trace.phases[0].kind is PhaseKind.VERTEX_DIVISION
+
+    def test_edges_are_e_times_iterations(self, random_graph):
+        result = SsspBellmanFord().run(random_graph)
+        iterations = result.stats["iterations"]
+        assert result.trace.phases[0].edges == pytest.approx(
+            random_graph.num_edges * iterations
+        )
+
+    def test_iterations_track_depth(self, path_graph, cycle_graph):
+        deep = SsspBellmanFord().run(path_graph).trace.num_iterations
+        # The 6-path needs ~6 rounds to converge.
+        assert deep >= 5
+
+    def test_max_parallelism_is_v(self, random_graph):
+        trace = SsspBellmanFord().run(random_graph).trace
+        assert trace.phases[0].max_parallelism == random_graph.num_vertices
+
+
+class TestDeltaSteppingCorrectness:
+    def test_diamond(self, diamond_graph):
+        result = SsspDeltaStepping().run(diamond_graph, source=0)
+        assert list(result.output) == [0.0, 1.0, 4.0, 2.0]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_dijkstra_random(self, seed):
+        graph = uniform_random_graph(150, 1200, seed=seed)
+        result = SsspDeltaStepping().run(graph, source=0)
+        assert_distances_equal(result.output, reference_distances(graph))
+
+    def test_matches_bellman_ford(self, random_graph):
+        bf = SsspBellmanFord().run(random_graph, source=5)
+        delta = SsspDeltaStepping().run(random_graph, source=5)
+        assert_distances_equal(delta.output, bf.output)
+
+    @pytest.mark.parametrize("delta", [0.5, 2.0, 16.0])
+    def test_delta_choice_does_not_change_result(self, random_graph, delta):
+        result = SsspDeltaStepping().run(random_graph, source=0, delta=delta)
+        assert_distances_equal(result.output, reference_distances(random_graph))
+
+    def test_bad_delta(self, random_graph):
+        with pytest.raises(GraphError):
+            SsspDeltaStepping().run(random_graph, delta=-1.0)
+
+    def test_bad_source(self, random_graph):
+        with pytest.raises(GraphError):
+            SsspDeltaStepping().run(random_graph, source=10**6)
+
+
+class TestDeltaSteppingTrace:
+    def test_three_phases(self, random_graph):
+        trace = SsspDeltaStepping().run(random_graph).trace
+        kinds = [phase.kind for phase in trace.phases]
+        assert kinds == [
+            PhaseKind.VERTEX_DIVISION,
+            PhaseKind.PUSH_POP,
+            PhaseKind.REDUCTION,
+        ]
+
+    def test_push_pop_counts_positive(self, random_graph):
+        trace = SsspDeltaStepping().run(random_graph).trace
+        assert trace.phases[1].items > 0
+
+    def test_frontier_bound_parallelism(self, random_graph):
+        trace = SsspDeltaStepping().run(random_graph).trace
+        assert trace.phases[0].max_parallelism <= random_graph.num_vertices

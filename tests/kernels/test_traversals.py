@@ -1,0 +1,94 @@
+"""Correctness and trace tests for BFS and DFS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.diameter import bfs_levels
+from repro.graph.generators import social_network_graph, uniform_random_graph
+from repro.kernels import BreadthFirstSearch, DepthFirstSearch
+from repro.workload.phases import PhaseKind
+
+
+class TestBfsCorrectness:
+    def test_path_levels(self, path_graph):
+        result = BreadthFirstSearch().run(path_graph, source=0)
+        assert list(result.output) == [0, 1, 2, 3, 4, 5]
+
+    def test_matches_reference_bfs(self, random_graph):
+        result = BreadthFirstSearch().run(random_graph, source=0)
+        assert np.array_equal(result.output, bfs_levels(random_graph, 0))
+
+    def test_unreachable_minus_one(self, disconnected_graph):
+        result = BreadthFirstSearch().run(disconnected_graph, source=0)
+        assert result.output[3] == -1
+
+    def test_bad_source(self, path_graph):
+        with pytest.raises(GraphError):
+            BreadthFirstSearch().run(path_graph, source=6)
+
+
+class TestBfsTrace:
+    def test_pareto_dynamic_phase(self, random_graph):
+        trace = BreadthFirstSearch().run(random_graph).trace
+        assert trace.phases[0].kind is PhaseKind.PARETO_DYNAMIC
+
+    def test_items_bounded_by_v(self, random_graph):
+        trace = BreadthFirstSearch().run(random_graph).trace
+        assert trace.phases[0].items <= random_graph.num_vertices
+
+    def test_edges_bounded_by_e(self, random_graph):
+        trace = BreadthFirstSearch().run(random_graph).trace
+        assert trace.phases[0].edges <= random_graph.num_edges
+
+    def test_levels_equals_iterations(self, path_graph):
+        result = BreadthFirstSearch().run(path_graph, source=0)
+        assert result.trace.num_iterations == 5
+
+    def test_social_graph_wide_frontier(self):
+        graph = social_network_graph(2000, 8, seed=0)
+        result = BreadthFirstSearch().run(graph, source=0)
+        assert result.stats["max_frontier"] > 50
+
+
+class TestDfsCorrectness:
+    def test_visits_reachable_component(self, random_graph):
+        result = DepthFirstSearch().run(random_graph, source=0)
+        reachable = bfs_levels(random_graph, 0) >= 0
+        visited = result.output >= 0
+        assert np.array_equal(visited, reachable)
+
+    def test_preorder_starts_at_source(self, path_graph):
+        result = DepthFirstSearch().run(path_graph, source=0)
+        assert result.output[0] == 0
+
+    def test_preorder_is_permutation(self, random_graph):
+        result = DepthFirstSearch().run(random_graph, source=0)
+        orders = result.output[result.output >= 0]
+        assert sorted(orders) == list(range(len(orders)))
+
+    def test_path_preorder_sequential(self, path_graph):
+        result = DepthFirstSearch().run(path_graph, source=0)
+        assert list(result.output) == [0, 1, 2, 3, 4, 5]
+
+    def test_bad_source(self, path_graph):
+        with pytest.raises(GraphError):
+            DepthFirstSearch().run(path_graph, source=-2)
+
+
+class TestDfsTrace:
+    def test_push_pop_phase(self, random_graph):
+        trace = DepthFirstSearch().run(random_graph).trace
+        assert trace.phases[0].kind is PhaseKind.PUSH_POP
+
+    def test_pushes_and_pops_counted(self, random_graph):
+        result = DepthFirstSearch().run(random_graph)
+        assert result.stats["pushes"] >= result.stats["visited"]
+        assert result.trace.phases[0].items > 0
+
+    def test_stack_width_bounds_parallelism(self, path_graph):
+        # On a path the stack never holds more than one pending vertex.
+        trace = DepthFirstSearch().run(path_graph, source=0).trace
+        assert trace.phases[0].max_parallelism == 1

@@ -1,0 +1,124 @@
+"""Tests for MachineConfig (the M1-M20 assignment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MachineConfigError
+from repro.machine.mvars import (
+    M_VARIABLE_NAMES,
+    MachineConfig,
+    OmpSchedule,
+    clamp_config,
+    default_config,
+    total_threads,
+)
+from repro.machine.specs import get_accelerator
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        MachineConfig(accelerator="gtx750ti")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cores": 0},
+            {"threads_per_core": 0},
+            {"blocktime_ms": 0.5},
+            {"blocktime_ms": 2000.0},
+            {"placement_core": 1.5},
+            {"affinity": -0.1},
+            {"simd_width": 0},
+            {"omp_chunk": 0},
+            {"omp_max_active_levels": 0},
+            {"omp_spincount": -1.0},
+            {"gpu_global_threads": 0},
+            {"gpu_local_threads": 0},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(MachineConfigError):
+            MachineConfig(accelerator="x", **kwargs)
+
+    def test_placement_looseness_mean(self):
+        cfg = MachineConfig(
+            accelerator="x",
+            placement_core=0.3,
+            placement_thread=0.6,
+            placement_offset=0.9,
+        )
+        assert cfg.placement_looseness == pytest.approx(0.6)
+
+
+class TestMVariableNames:
+    def test_twenty_variables(self):
+        assert len(M_VARIABLE_NAMES) == 20
+        assert set(M_VARIABLE_NAMES) == {f"M{i}" for i in range(1, 21)}
+
+    def test_as_dict_covers_all(self):
+        cfg = MachineConfig(accelerator="gtx750ti")
+        assert set(cfg.as_dict()) == set(M_VARIABLE_NAMES)
+
+
+class TestTotalThreads:
+    def test_gpu_uses_global(self):
+        spec = get_accelerator("gtx750ti")
+        cfg = MachineConfig(accelerator=spec.name, gpu_global_threads=512)
+        assert total_threads(cfg, spec) == 512
+
+    def test_gpu_capped(self):
+        spec = get_accelerator("gtx750ti")
+        cfg = MachineConfig(accelerator=spec.name, gpu_global_threads=10**6)
+        assert total_threads(cfg, spec) == spec.max_threads
+
+    def test_multicore_cores_times_tpc(self):
+        spec = get_accelerator("xeonphi7120p")
+        cfg = MachineConfig(accelerator=spec.name, cores=10, threads_per_core=4)
+        assert total_threads(cfg, spec) == 40
+
+
+class TestDefaultConfig:
+    def test_gpu_default_full_threads(self):
+        spec = get_accelerator("gtx750ti")
+        cfg = default_config(spec)
+        assert cfg.gpu_global_threads == spec.max_threads
+
+    def test_multicore_default_full_chip(self):
+        spec = get_accelerator("xeonphi7120p")
+        cfg = default_config(spec)
+        assert cfg.cores == spec.cores
+        assert cfg.threads_per_core == spec.threads_per_core
+        assert cfg.simd_width == spec.simd_width
+
+
+class TestClampConfig:
+    def test_ceiling_rule(self):
+        spec = get_accelerator("xeonphi7120p")
+        cfg = MachineConfig(
+            accelerator="other",
+            cores=10_000,
+            threads_per_core=64,
+            simd_width=128,
+        )
+        clamped = clamp_config(cfg, spec)
+        assert clamped.cores == spec.cores
+        assert clamped.threads_per_core == spec.threads_per_core
+        assert clamped.simd_width == spec.simd_width
+        assert clamped.accelerator == spec.name
+
+    def test_gpu_threads_clamped(self):
+        spec = get_accelerator("gtx750ti")
+        cfg = MachineConfig(
+            accelerator="x", gpu_global_threads=10**7, gpu_local_threads=4096
+        )
+        clamped = clamp_config(cfg, spec)
+        assert clamped.gpu_global_threads == spec.max_threads
+        assert clamped.gpu_local_threads == 1024
+
+    def test_within_limits_unchanged(self):
+        spec = get_accelerator("xeonphi7120p")
+        cfg = MachineConfig(accelerator=spec.name, cores=30, threads_per_core=2)
+        clamped = clamp_config(cfg, spec)
+        assert clamped.cores == 30
+        assert clamped.threads_per_core == 2

@@ -1,0 +1,110 @@
+"""Tests for the accelerator spec registry against Table II."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownAcceleratorError
+from repro.machine.specs import (
+    ACCELERATOR_PAIRS,
+    ACCELERATORS,
+    DEFAULT_PAIR,
+    AcceleratorKind,
+    accelerator_names,
+    get_accelerator,
+    with_memory_gb,
+)
+
+
+class TestTable2Values:
+    def test_gtx750ti(self):
+        spec = get_accelerator("gtx750ti")
+        assert spec.cores == 640
+        assert spec.cache_mb == 2.0
+        assert not spec.coherent
+        assert spec.mem_gb == 2.0
+        assert spec.mem_bw_gbps == 86.0
+        assert spec.sp_tflops == 1.3
+        assert spec.dp_tflops == 0.04
+
+    def test_xeonphi(self):
+        spec = get_accelerator("xeonphi7120p")
+        assert spec.cores == 61
+        assert spec.max_threads == 244
+        assert spec.cache_mb == 32.0
+        assert spec.coherent
+        assert spec.mem_bw_gbps == 352.0
+        assert spec.sp_tflops == 2.4
+        assert spec.dp_tflops == 1.2
+
+    def test_gtx970_section_via(self):
+        spec = get_accelerator("gtx970")
+        assert spec.cores == 1664
+        assert spec.sp_tflops == 3.5
+        assert spec.mem_gb == 4.0
+
+    def test_cpu40core_section_via(self):
+        spec = get_accelerator("cpu40core")
+        assert spec.cores == 40
+        assert spec.clock_ghz == 2.3
+        assert spec.max_mem_gb == 1024.0
+
+    def test_clock_claims(self):
+        # Section VII-D: 2.3 vs 1.3 vs 1.7 GHz.
+        assert get_accelerator("cpu40core").clock_ghz > get_accelerator(
+            "gtx970"
+        ).clock_ghz > get_accelerator("gtx750ti").clock_ghz
+
+
+class TestRegistry:
+    def test_four_machines(self):
+        assert len(ACCELERATORS) == 4
+
+    def test_lookup_variants(self):
+        assert get_accelerator("GTX-750Ti").name == "gtx750ti"
+        assert get_accelerator("xeon_phi_7120p").name == "xeonphi7120p"
+
+    def test_unknown(self):
+        with pytest.raises(UnknownAcceleratorError):
+            get_accelerator("tpu")
+
+    def test_names_sorted(self):
+        assert accelerator_names() == sorted(accelerator_names())
+
+    def test_default_pair_is_primary(self):
+        assert DEFAULT_PAIR == ("gtx750ti", "xeonphi7120p")
+
+    def test_all_pairs_are_gpu_multicore(self):
+        for gpu_name, mc_name in ACCELERATOR_PAIRS:
+            assert get_accelerator(gpu_name).kind is AcceleratorKind.GPU
+            assert (
+                get_accelerator(mc_name).kind is AcceleratorKind.MULTICORE
+            )
+
+    def test_kind_properties(self):
+        assert get_accelerator("gtx750ti").is_gpu
+        assert not get_accelerator("cpu40core").is_gpu
+
+
+class TestWithMemory:
+    def test_resize(self):
+        spec = with_memory_gb(get_accelerator("xeonphi7120p"), 8.0)
+        assert spec.mem_gb == 8.0
+
+    def test_clamped_to_max(self):
+        spec = with_memory_gb(get_accelerator("gtx750ti"), 64.0)
+        assert spec.mem_gb == 2.0
+
+    def test_floored_at_one(self):
+        spec = with_memory_gb(get_accelerator("gtx970"), 0.1)
+        assert spec.mem_gb == 1.0
+
+    def test_other_fields_preserved(self):
+        base = get_accelerator("xeonphi7120p")
+        spec = with_memory_gb(base, 16.0)
+        assert spec.cores == base.cores
+        assert spec.mem_bw_gbps == base.mem_bw_gbps
+
+    def test_derived_bytes(self):
+        spec = with_memory_gb(get_accelerator("xeonphi7120p"), 4.0)
+        assert spec.mem_bytes == 4e9

@@ -1,0 +1,77 @@
+"""Tests for workload preparation and deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownBenchmarkError, UnknownDatasetError
+from repro.machine.mvars import default_config
+from repro.machine.specs import get_accelerator
+from repro.runtime.deploy import prepare_workload, run_workload
+from repro.workload.profile import footprint_for
+
+
+class TestPrepareWorkload:
+    def test_basic(self):
+        workload = prepare_workload("sssp_bf", "usa-cal")
+        assert workload.benchmark == "sssp_bf"
+        assert workload.dataset == "usa-cal"
+        assert workload.profile.phases
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(UnknownBenchmarkError):
+            prepare_workload("sorting", "usa-cal")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(UnknownDatasetError):
+            prepare_workload("sssp_bf", "orkut")
+
+    def test_footprint_is_paper_scale(self):
+        """Profiles represent the published graph, not the small proxy."""
+        workload = prepare_workload("bfs", "facebook")
+        expected = footprint_for(2_900_000, 41_900_000)
+        assert workload.profile.footprint_bytes == pytest.approx(expected)
+
+    def test_ivars_from_paper_metadata(self):
+        workload = prepare_workload("bfs", "usa-cal")
+        assert workload.ivars.i1 == 0.1
+        assert workload.ivars.i4 == 0.8
+
+    def test_bvars_from_profiles(self):
+        workload = prepare_workload("sssp_bf", "cage14")
+        assert workload.bvars.b1 == 1.0
+
+    def test_depth_scaling_for_bellman_ford(self):
+        """USA-Cal's 850-hop diameter must inflate BF's total work."""
+        road = prepare_workload("sssp_bf", "usa-cal")
+        social = prepare_workload("sssp_bf", "facebook")
+        road_work_per_edge = road.profile.total_edges / 4_700_000
+        social_work_per_edge = social.profile.total_edges / 41_900_000
+        assert road_work_per_edge > 5 * social_work_per_edge
+
+    def test_frontier_kernels_not_depth_inflated(self):
+        """BFS touches each edge a bounded number of times even on the
+        road network."""
+        workload = prepare_workload("bfs", "usa-cal")
+        assert workload.profile.total_edges < 3 * 4_700_000
+
+    def test_trace_cached_across_calls(self):
+        first = prepare_workload("dfs", "cage14")
+        second = prepare_workload("dfs", "cage14")
+        assert first.profile.total_edges == second.profile.total_edges
+
+
+class TestRunWorkload:
+    def test_runs_on_both_accelerators(self):
+        workload = prepare_workload("bfs", "cage14")
+        for name in ("gtx750ti", "xeonphi7120p"):
+            spec = get_accelerator(name)
+            result = run_workload(workload, spec, default_config(spec))
+            assert result.time_ms > 0
+            assert result.accelerator == name
+
+    def test_streaming_for_huge_graphs(self):
+        workload = prepare_workload("pagerank", "twitter")
+        spec = get_accelerator("gtx750ti")
+        result = run_workload(workload, spec, default_config(spec))
+        assert result.cost.streaming_s > 0

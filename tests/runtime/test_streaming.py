@@ -1,0 +1,64 @@
+"""Tests for chunk-streamed execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import uniform_random_graph
+from repro.kernels import SsspBellmanFord
+from repro.runtime.streaming import streaming_degree_sum, streaming_sssp_bf
+
+
+class TestStreamingSssp:
+    def test_matches_whole_graph_result(self, random_graph):
+        whole = SsspBellmanFord().run(random_graph, source=0).output
+        streamed = streaming_sssp_bf(random_graph, budget_bytes=8192, source=0)
+        finite = np.isfinite(whole)
+        assert np.array_equal(np.isfinite(streamed.output), finite)
+        assert np.allclose(streamed.output[finite], whole[finite])
+
+    def test_multiple_chunks_used(self, random_graph):
+        streamed = streaming_sssp_bf(random_graph, budget_bytes=4096)
+        assert streamed.num_chunks > 1
+        assert streamed.chunk_loads >= streamed.num_chunks
+
+    def test_single_chunk_when_fitting(self, random_graph):
+        streamed = streaming_sssp_bf(random_graph, budget_bytes=10**9)
+        assert streamed.num_chunks == 1
+
+    def test_chunk_loads_scale_with_iterations(self, random_graph):
+        streamed = streaming_sssp_bf(random_graph, budget_bytes=4096)
+        assert streamed.chunk_loads == pytest.approx(
+            streamed.num_chunks * streamed.iterations
+        )
+
+    def test_budget_validation(self, random_graph):
+        with pytest.raises(GraphError):
+            streaming_sssp_bf(random_graph, budget_bytes=0)
+
+    def test_source_validation(self, random_graph):
+        with pytest.raises(GraphError):
+            streaming_sssp_bf(random_graph, budget_bytes=1024, source=-1)
+
+    @pytest.mark.parametrize("budget", [2048, 16384, 10**8])
+    def test_budget_invariant_results(self, budget):
+        graph = uniform_random_graph(120, 700, seed=9)
+        reference = SsspBellmanFord().run(graph, source=0).output
+        streamed = streaming_sssp_bf(graph, budget_bytes=budget, source=0)
+        finite = np.isfinite(reference)
+        assert np.allclose(streamed.output[finite], reference[finite])
+
+
+class TestStreamingDegreeSum:
+    def test_matches_out_degrees(self, random_graph):
+        streamed = streaming_degree_sum(random_graph, budget_bytes=4096)
+        assert np.array_equal(
+            streamed.output, np.asarray(random_graph.out_degree())
+        )
+
+    def test_single_pass(self, random_graph):
+        streamed = streaming_degree_sum(random_graph, budget_bytes=4096)
+        assert streamed.iterations == 1
+        assert streamed.chunk_loads == streamed.num_chunks

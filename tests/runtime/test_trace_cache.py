@@ -1,0 +1,54 @@
+"""Tests for the on-disk kernel trace cache."""
+
+from __future__ import annotations
+
+from repro.runtime.trace_cache import (
+    cache_dir,
+    clear_cache,
+    load_trace,
+    store_trace,
+)
+from repro.workload.phases import PhaseKind
+from repro.workload.profile import KernelTrace, PhaseTrace
+
+
+def _trace():
+    return KernelTrace(
+        benchmark="bench",
+        graph_name="graph",
+        phases=(
+            PhaseTrace(PhaseKind.VERTEX_DIVISION, 10.0, 20.0, 5.0, 0.3),
+            PhaseTrace(PhaseKind.REDUCTION, 4.0, 0.0, 2.0, 0.0),
+        ),
+        num_iterations=3,
+    )
+
+
+class TestTraceCache:
+    def test_miss_returns_none(self):
+        assert load_trace("never-stored-key") is None
+
+    def test_roundtrip(self):
+        store_trace("test-roundtrip", _trace())
+        back = load_trace("test-roundtrip")
+        assert back == _trace()
+
+    def test_persists_to_disk(self):
+        store_trace("test-disk", _trace())
+        assert (cache_dir() / "test-disk.json").exists()
+
+    def test_corrupt_entry_is_miss(self):
+        store_trace("test-corrupt", _trace())
+        (cache_dir() / "test-corrupt.json").write_text("{not json")
+        # Memory cache still has it; clear to force the disk path.
+        clear_cache()
+        assert load_trace("test-corrupt") is None
+
+    def test_clear_cache(self):
+        store_trace("test-clear", _trace())
+        clear_cache()
+        assert load_trace("test-clear") is None
+
+    def test_key_sanitized(self):
+        store_trace("weird/key/with/slashes", _trace())
+        assert load_trace("weird/key/with/slashes") == _trace()

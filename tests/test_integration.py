@@ -1,0 +1,101 @@
+"""Cross-module integration tests: the paper's end-to-end claims on a
+reduced grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decision_tree import decision_tree_predict
+from repro.experiments.common import geomean
+from repro.machine.specs import get_accelerator
+from repro.runtime.deploy import prepare_workload
+from repro.tuning.exhaustive import best_on_accelerator, best_on_pair
+
+GPU = get_accelerator("gtx750ti")
+PHI = get_accelerator("xeonphi7120p")
+
+# A slice of the Figure 11 grid covering all structural regimes: road,
+# social, tiny-dense, banded, and beyond-memory graphs.
+GRID = [
+    (bench, dataset)
+    for bench in ("sssp_bf", "sssp_delta", "bfs", "pagerank")
+    for dataset in ("usa-cal", "facebook", "m-ret-3", "cage14", "twitter")
+]
+
+
+@pytest.fixture(scope="module")
+def oracle_choices():
+    choices = {}
+    for bench, dataset in GRID:
+        workload = prepare_workload(bench, dataset)
+        choices[(bench, dataset)] = best_on_pair(
+            workload.profile, (GPU, PHI)
+        )
+    return choices
+
+
+class TestWinnerStructure:
+    """The Figure 11 structure the whole paper hinges on."""
+
+    def test_road_network_prefers_multicore(self, oracle_choices):
+        assert (
+            oracle_choices[("sssp_delta", "usa-cal")].accelerator
+            == PHI.name
+        )
+
+    def test_beyond_memory_graphs_prefer_gpu(self, oracle_choices):
+        for bench in ("sssp_bf", "sssp_delta", "bfs", "pagerank"):
+            assert oracle_choices[(bench, "twitter")].accelerator == GPU.name
+
+    def test_cache_resident_graph_prefers_multicore(self, oracle_choices):
+        for bench in ("sssp_bf", "bfs", "pagerank"):
+            assert oracle_choices[(bench, "m-ret-3")].accelerator == PHI.name
+
+    def test_fp_benchmark_prefers_multicore_mid_scale(self, oracle_choices):
+        assert oracle_choices[("pagerank", "facebook")].accelerator == PHI.name
+
+    def test_social_traversals_near_parity(self, oracle_choices):
+        """Traversals on mid-size social graphs are contested (within
+        ~1.5x either way), unlike the decisive road/connectome cells."""
+        workload = prepare_workload("bfs", "facebook")
+        gpu_best = best_on_accelerator(workload.profile, GPU).time_s
+        phi_best = best_on_accelerator(workload.profile, PHI).time_s
+        ratio = phi_best / gpu_best
+        assert 0.6 < ratio < 1.7
+
+    def test_heterogeneity_exists(self, oracle_choices):
+        winners = {r.accelerator for r in oracle_choices.values()}
+        assert winners == {GPU.name, PHI.name}
+
+
+class TestDecisionTreeAgreement:
+    def test_tree_matches_oracle_majority(self, oracle_choices):
+        """The analytical tree should agree with the oracle on most
+        combinations (the paper claims 86.2% choice accuracy)."""
+        agree = 0
+        for (bench, dataset), oracle in oracle_choices.items():
+            workload = prepare_workload(bench, dataset)
+            spec, _, _ = decision_tree_predict(
+                workload.bvars, workload.ivars, GPU, PHI
+            )
+            agree += spec.name == oracle.accelerator
+        assert agree / len(oracle_choices) >= 0.75
+
+
+class TestIdealDominance:
+    def test_pair_never_worse_than_single(self, oracle_choices):
+        """Having two accelerators can only help (min over both)."""
+        for (bench, dataset), pair_best in oracle_choices.items():
+            workload = prepare_workload(bench, dataset)
+            gpu_best = best_on_accelerator(workload.profile, GPU)
+            assert pair_best.time_s <= gpu_best.time_s + 1e-12
+
+    def test_geomean_gain_is_substantial(self, oracle_choices):
+        """The headline: a heterogeneous pair beats either single
+        accelerator by a healthy geomean margin on this mixed grid."""
+        gpu_ratio = []
+        for (bench, dataset), pair_best in oracle_choices.items():
+            workload = prepare_workload(bench, dataset)
+            gpu_best = best_on_accelerator(workload.profile, GPU)
+            gpu_ratio.append(gpu_best.time_s / pair_best.time_s)
+        assert geomean(gpu_ratio) > 1.1

@@ -1,0 +1,32 @@
+"""Tests for the phase taxonomy."""
+
+from __future__ import annotations
+
+from repro.workload.phases import (
+    BVAR_BY_PHASE_KIND,
+    PHASE_KIND_BY_BVAR,
+    PhaseKind,
+)
+
+
+class TestPhaseKind:
+    def test_five_kinds(self):
+        assert len(PhaseKind) == 5
+
+    def test_data_parallel_partition(self):
+        data_parallel = {k for k in PhaseKind if k.is_data_parallel}
+        divergent = {k for k in PhaseKind if k.is_divergent}
+        assert data_parallel | divergent == set(PhaseKind)
+        assert not data_parallel & divergent
+
+    def test_b1_to_b3_data_parallel(self):
+        for label in ("B1", "B2", "B3"):
+            assert PHASE_KIND_BY_BVAR[label].is_data_parallel
+
+    def test_b4_b5_divergent(self):
+        assert PHASE_KIND_BY_BVAR["B4"].is_divergent
+        assert PHASE_KIND_BY_BVAR["B5"].is_divergent
+
+    def test_mappings_inverse(self):
+        for bvar, kind in PHASE_KIND_BY_BVAR.items():
+            assert BVAR_BY_PHASE_KIND[kind] == bvar

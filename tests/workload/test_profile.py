@@ -1,0 +1,194 @@
+"""Tests for workload profiles and the trace-to-profile builder."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.features.bvars import BVariables
+from repro.workload.phases import PhaseKind
+from repro.workload.profile import (
+    KernelTrace,
+    PhaseTrace,
+    WorkloadProfile,
+    build_profile,
+    footprint_for,
+)
+
+
+def _trace(kind=PhaseKind.VERTEX_DIVISION, items=1000.0, edges=5000.0,
+           iterations=4):
+    return KernelTrace(
+        benchmark="test",
+        graph_name="g",
+        phases=(
+            PhaseTrace(kind=kind, items=items, edges=edges,
+                       max_parallelism=items, work_skew=0.2),
+        ),
+        num_iterations=iterations,
+    )
+
+
+BV = BVariables(b1=1.0, b6=0.4, b7=0.6, b8=0.2, b9=0.3, b10=0.4, b11=0.3,
+                b12=0.2, b13=0.2)
+
+
+class TestValidation:
+    def test_phase_trace_negative_counts(self):
+        with pytest.raises(SimulationError):
+            PhaseTrace(PhaseKind.VERTEX_DIVISION, -1.0, 0.0, 1.0)
+
+    def test_phase_trace_zero_parallelism(self):
+        with pytest.raises(SimulationError):
+            PhaseTrace(PhaseKind.VERTEX_DIVISION, 1.0, 0.0, 0.0)
+
+    def test_phase_trace_skew_range(self):
+        with pytest.raises(SimulationError):
+            PhaseTrace(PhaseKind.VERTEX_DIVISION, 1.0, 0.0, 1.0, work_skew=2.0)
+
+    def test_trace_needs_phases(self):
+        with pytest.raises(SimulationError):
+            KernelTrace("b", "g", (), 1)
+
+    def test_trace_needs_iterations(self):
+        with pytest.raises(SimulationError):
+            _trace(iterations=0)
+
+    def test_build_profile_bad_sources(self):
+        with pytest.raises(SimulationError):
+            build_profile(
+                _trace(), BV,
+                target_vertices=10, target_edges=10,
+                source_vertices=0, source_edges=10,
+            )
+
+    def test_build_profile_bad_scales(self):
+        with pytest.raises(SimulationError):
+            build_profile(
+                _trace(), BV,
+                target_vertices=10, target_edges=10,
+                source_vertices=10, source_edges=10,
+                work_iteration_scale=0.0,
+            )
+
+
+class TestBuildProfile:
+    def _build(self, **kwargs):
+        defaults = dict(
+            target_vertices=1000.0, target_edges=5000.0,
+            source_vertices=1000.0, source_edges=5000.0,
+        )
+        defaults.update(kwargs)
+        return build_profile(_trace(), BV, **defaults)
+
+    def test_identity_scaling(self):
+        profile = self._build()
+        phase = profile.phases[0]
+        assert phase.items == pytest.approx(1000.0)
+        assert phase.edges == pytest.approx(5000.0)
+
+    def test_edge_scaling_linear(self):
+        profile = self._build(target_edges=50_000.0)
+        assert profile.phases[0].edges == pytest.approx(50_000.0)
+
+    def test_vertex_scaling_linear(self):
+        profile = self._build(target_vertices=4000.0)
+        assert profile.phases[0].items == pytest.approx(4000.0)
+
+    def test_work_iteration_scale_multiplies_work(self):
+        base = self._build()
+        deep = self._build(work_iteration_scale=10.0)
+        assert deep.phases[0].edges == pytest.approx(
+            10.0 * base.phases[0].edges
+        )
+
+    def test_overhead_scale_changes_iterations_not_work(self):
+        base = self._build()
+        deep = self._build(overhead_iteration_scale=10.0)
+        assert deep.num_iterations == 10 * base.num_iterations
+        assert deep.phases[0].edges == pytest.approx(base.phases[0].edges)
+
+    def test_fp_split_follows_b6(self):
+        profile = self._build()
+        phase = profile.phases[0]
+        total = phase.int_ops + phase.fp_ops
+        assert phase.fp_ops == pytest.approx(0.4 * total)
+
+    def test_addressing_split_follows_b7_b8(self):
+        profile = self._build()
+        phase = profile.phases[0]
+        assert phase.seq_bytes == pytest.approx(0.6 * phase.total_bytes)
+        assert phase.indirect_bytes == pytest.approx(0.2 * phase.total_bytes)
+
+    def test_sharing_split_normalized(self):
+        profile = self._build()
+        phase = profile.phases[0]
+        sharing = (
+            phase.shared_ro_bytes + phase.shared_rw_bytes + phase.local_bytes
+        )
+        assert sharing == pytest.approx(phase.total_bytes)
+
+    def test_atomics_follow_b12_items(self):
+        profile = self._build()
+        phase = profile.phases[0]
+        assert phase.atomics == pytest.approx(0.2 * phase.items)
+
+    def test_barriers_follow_b13(self):
+        profile = self._build()
+        # B13 = 0.2 -> 2 barriers per iteration, 4 iterations, 1 phase.
+        assert profile.phases[0].barriers == pytest.approx(8.0)
+
+    def test_contention_is_b12(self):
+        assert self._build().contention == 0.2
+
+    def test_footprint_from_targets(self):
+        profile = self._build(target_vertices=100.0, target_edges=200.0)
+        assert profile.footprint_bytes == footprint_for(100.0, 200.0)
+
+    def test_frontier_phase_shifts_seq_to_rand(self):
+        trace = _trace(kind=PhaseKind.PARETO_DYNAMIC)
+        profile = build_profile(
+            trace, BV,
+            target_vertices=1000.0, target_edges=5000.0,
+            source_vertices=1000.0, source_edges=5000.0,
+        )
+        phase = profile.phases[0]
+        assert phase.seq_bytes < 0.6 * phase.total_bytes
+        assert phase.rand_bytes > 0.2 * phase.total_bytes
+
+    def test_profile_totals(self):
+        profile = self._build()
+        assert profile.total_edges == pytest.approx(5000.0)
+        assert profile.total_bytes > 0
+
+
+class TestWorkloadProfileValidation:
+    def test_needs_phases(self):
+        with pytest.raises(SimulationError):
+            WorkloadProfile("b", "g", (), 1, 0.0, 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    v_scale=st.floats(0.1, 1000.0),
+    e_scale=st.floats(0.1, 1000.0),
+)
+def test_property_scaling_linear(v_scale, e_scale):
+    base = build_profile(
+        _trace(), BV,
+        target_vertices=1000.0, target_edges=5000.0,
+        source_vertices=1000.0, source_edges=5000.0,
+    )
+    scaled = build_profile(
+        _trace(), BV,
+        target_vertices=1000.0 * v_scale, target_edges=5000.0 * e_scale,
+        source_vertices=1000.0, source_edges=5000.0,
+    )
+    assert scaled.phases[0].items == pytest.approx(
+        base.phases[0].items * v_scale, rel=1e-9
+    )
+    assert scaled.phases[0].edges == pytest.approx(
+        base.phases[0].edges * e_scale, rel=1e-9
+    )

@@ -1,0 +1,127 @@
+"""Tests for the synthetic benchmark/input generator (Fig 9, Table III)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.bvars import PHASE_FIELDS
+from repro.workload.phases import PhaseKind
+from repro.workload.synthetic import (
+    generate_samples,
+    sample_bvars,
+    sample_graph_meta,
+    synthesize_trace,
+)
+
+
+class TestSampleBvars:
+    def test_valid_and_on_grid(self, rng):
+        for _ in range(50):
+            bv = sample_bvars(rng)
+            for value in bv.as_vector():
+                assert 0.0 <= value <= 1.0
+                assert abs(value * 10 - round(value * 10)) < 1e-6
+
+    def test_phase_sum(self, rng):
+        for _ in range(50):
+            bv = sample_bvars(rng)
+            total = sum(getattr(bv, f) for f in PHASE_FIELDS)
+            assert total == pytest.approx(1.0)
+
+    def test_one_to_three_active_phases(self, rng):
+        for _ in range(50):
+            bv = sample_bvars(rng)
+            active = sum(
+                1 for f in PHASE_FIELDS if getattr(bv, f) > 0
+            )
+            assert 1 <= active <= 3
+
+    def test_b8_respects_b7(self, rng):
+        for _ in range(50):
+            bv = sample_bvars(rng)
+            assert bv.b7 + bv.b8 <= 1.0 + 1e-9
+
+
+class TestSampleGraphMeta:
+    def test_table3_ranges(self, rng):
+        for _ in range(100):
+            meta = sample_graph_meta(rng)
+            assert meta.num_vertices <= 65e6
+            assert meta.num_edges <= 2e9
+            assert 1.0 <= meta.max_degree <= 32_000.0
+            assert meta.family in ("uniform", "kronecker")
+
+    def test_kronecker_hubbier_than_uniform(self, rng):
+        krons, unifs = [], []
+        for _ in range(200):
+            meta = sample_graph_meta(rng)
+            ratio = meta.max_degree / max(
+                1.0, meta.num_edges / meta.num_vertices
+            )
+            (krons if meta.family == "kronecker" else unifs).append(ratio)
+        assert np.median(krons) > np.median(unifs)
+
+    def test_ivars_computable(self, rng):
+        for _ in range(30):
+            iv = sample_graph_meta(rng).ivars
+            for value in iv.as_vector():
+                assert 0.0 <= value <= 1.0
+
+
+class TestSynthesizeTrace:
+    def test_phases_match_active_bvars(self, rng):
+        sample_rng = np.random.default_rng(5)
+        for _ in range(25):
+            bv = sample_bvars(sample_rng)
+            meta = sample_graph_meta(sample_rng)
+            trace = synthesize_trace(bv, meta, rng=sample_rng)
+            active = sum(1 for f in PHASE_FIELDS if getattr(bv, f) > 0)
+            assert len(trace.phases) == active
+
+    def test_push_pop_limits_parallelism(self, rng):
+        from repro.features.bvars import BVariables
+        from repro.workload.synthetic import SyntheticGraphMeta
+
+        meta = SyntheticGraphMeta(1e6, 1e7, 100, 10, "uniform")
+        bv = BVariables(b4=1.0, b7=0.5, b10=0.5, b12=0.2)
+        trace = synthesize_trace(bv, meta)
+        phase = trace.phases[0]
+        assert phase.kind is PhaseKind.PUSH_POP
+        assert phase.max_parallelism < meta.num_vertices * 0.2
+
+    def test_iterations_track_diameter(self):
+        from repro.features.bvars import BVariables
+        from repro.workload.synthetic import SyntheticGraphMeta
+
+        bv = BVariables(b1=1.0, b7=0.5, b10=0.5)
+        shallow = synthesize_trace(
+            bv, SyntheticGraphMeta(1e5, 1e6, 50, 5, "uniform")
+        )
+        deep = synthesize_trace(
+            bv, SyntheticGraphMeta(1e5, 1e6, 50, 300, "uniform")
+        )
+        assert deep.num_iterations > shallow.num_iterations
+
+
+class TestGenerateSamples:
+    def test_count(self):
+        assert len(generate_samples(25, seed=1)) == 25
+
+    def test_deterministic(self):
+        a = generate_samples(10, seed=2)
+        b = generate_samples(10, seed=2)
+        assert [s.bvars for s in a] == [s.bvars for s in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_samples(10, seed=2)
+        b = generate_samples(10, seed=3)
+        assert [s.bvars for s in a] != [s.bvars for s in b]
+
+    def test_zero_samples(self):
+        assert generate_samples(0) == []
+
+    def test_samples_complete(self):
+        for sample in generate_samples(10, seed=4):
+            assert sample.trace.phases
+            assert sample.ivars is not None
