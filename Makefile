@@ -1,0 +1,15 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-force
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Run the lattice-sweep / DB-build perf harness and update BENCH_sweep.json.
+# Refuses to record a >25% throughput regression; use bench-force to override.
+bench:
+	$(PYTHON) benchmarks/bench_sweep.py
+
+bench-force:
+	$(PYTHON) benchmarks/bench_sweep.py --force

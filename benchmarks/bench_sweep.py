@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Launcher for the lattice-sweep perf harness.
+
+The implementation lives in :mod:`repro.benchmarking.bench_sweep` (so the
+tier-1 smoke test can import it); this script just makes ``python
+benchmarks/bench_sweep.py`` work from a source checkout without an
+installed package.  Emits/updates ``BENCH_sweep.json``; see ``--help``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.benchmarking.bench_sweep import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,16 +1,21 @@
 """Accelerator simulation: cost, energy, and utilization models."""
 
+from repro.accel.batch import BatchResult, ConfigTable, batch_evaluate, lattice_table
 from repro.accel.cost_model import PhaseCost, WorkloadCost, evaluate_cost
 from repro.accel.energy import EnergyResult, active_core_fraction, evaluate_energy
 from repro.accel.simulator import SimulationResult, simulate
 
 __all__ = [
+    "BatchResult",
+    "ConfigTable",
     "EnergyResult",
     "PhaseCost",
     "SimulationResult",
     "WorkloadCost",
     "active_core_fraction",
+    "batch_evaluate",
     "evaluate_cost",
     "evaluate_energy",
+    "lattice_table",
     "simulate",
 ]

@@ -1,0 +1,5 @@
+"""Performance harnesses that track the repo's hot paths over time."""
+
+from repro.benchmarking.bench_sweep import run_bench
+
+__all__ = ["run_bench"]

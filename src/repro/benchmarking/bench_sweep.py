@@ -1,0 +1,275 @@
+"""Lattice-sweep / training-build performance harness.
+
+Measures the hot paths the batch evaluator exists for and records them to
+``BENCH_sweep.json`` so future PRs have a perf trajectory:
+
+* single-accelerator lattice sweep — scalar :func:`simulate` loop vs the
+  vectorized :func:`repro.accel.batch.batch_evaluate` pass (configs/sec
+  for both, plus the speedup factor),
+* offline training-database build — seconds per sample and wall time,
+  serial (``workers=1``) and parallel (``workers=N``).
+
+The harness refuses to overwrite an existing baseline with a >25%
+regression on any tracked throughput metric unless ``--force`` is passed,
+so a perf-regressing change has to be acknowledged explicitly.
+
+Run via ``make bench``, ``python benchmarks/bench_sweep.py``, or the
+``repro-bench-sweep`` console entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.accel.batch import batch_evaluate, lattice_table
+from repro.accel.simulator import simulate
+from repro.core.training import build_training_database
+from repro.ioutil import atomic_write_text
+from repro.machine.space import iter_configs
+from repro.machine.specs import DEFAULT_PAIR, AcceleratorSpec, get_accelerator
+from repro.workload.phases import PhaseKind
+from repro.workload.profile import (
+    KernelTrace,
+    PhaseTrace,
+    WorkloadProfile,
+    build_profile,
+)
+from repro.features.bvars import BVariables
+
+__all__ = ["run_bench", "check_regressions", "main"]
+
+DEFAULT_OUTPUT = "BENCH_sweep.json"
+REGRESSION_TOLERANCE = 0.25  # refuse to record a >25% throughput drop
+
+# Higher-is-better metrics the regression gate tracks, as (section, key).
+# The parallel build is recorded but not gated: at bench-sized sample
+# counts its wall time is dominated by process-pool startup, which varies
+# with the host, not with the code under test.
+_GATED_METRICS = (
+    ("lattice_sweep", "scalar_configs_per_sec"),
+    ("lattice_sweep", "batch_configs_per_sec"),
+    ("db_build", "serial_samples_per_sec"),
+)
+
+
+def _bench_profile() -> WorkloadProfile:
+    """A representative mixed-phase workload (PageRank-ish + frontier)."""
+    bvars = BVariables(
+        b1=0.7, b3=0.3, b6=0.3, b7=0.5, b8=0.2, b9=0.4, b10=0.4, b11=0.2,
+        b12=0.2, b13=0.2,
+    )
+    vertices, edges, iterations = 4e6, 6e7, 20
+    trace = KernelTrace(
+        benchmark="bench",
+        graph_name="bench-graph",
+        phases=(
+            PhaseTrace(
+                kind=PhaseKind.VERTEX_DIVISION,
+                items=vertices * iterations,
+                edges=edges * iterations,
+                max_parallelism=vertices,
+                work_skew=0.4,
+            ),
+            PhaseTrace(
+                kind=PhaseKind.PARETO_DYNAMIC,
+                items=vertices,
+                edges=edges,
+                max_parallelism=vertices / 3.0,
+                work_skew=0.5,
+            ),
+        ),
+        num_iterations=iterations,
+    )
+    return build_profile(
+        trace, bvars,
+        target_vertices=vertices, target_edges=edges,
+        source_vertices=vertices, source_edges=edges,
+    )
+
+
+def bench_lattice_sweep(
+    spec: AcceleratorSpec, *, repeats: int = 3
+) -> dict[str, float]:
+    """Time the scalar simulate() loop vs one batch_evaluate() pass."""
+    profile = _bench_profile()
+    configs = list(iter_configs(spec))
+    lattice_table(spec)  # build the cached table outside the timed region
+    batch_evaluate(profile, spec)  # warm NumPy / allocator
+
+    scalar_s = min(
+        _timed(lambda: [simulate(profile, spec, c) for c in configs])
+        for _ in range(max(1, repeats))
+    )
+    batch_s = min(
+        _timed(lambda: batch_evaluate(profile, spec))
+        for _ in range(max(1, repeats))
+    )
+    n = len(configs)
+    return {
+        "accelerator": spec.name,
+        "lattice_points": n,
+        "scalar_sweep_s": scalar_s,
+        "batch_sweep_s": batch_s,
+        "scalar_configs_per_sec": n / scalar_s,
+        "batch_configs_per_sec": n / batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def bench_db_build(
+    pair: tuple[str, str], *, num_samples: int, workers: int, seed: int = 0
+) -> dict[str, float]:
+    """Time serial vs parallel training-database builds."""
+    specs = [get_accelerator(name) for name in pair]
+    gpu = next(spec for spec in specs if spec.is_gpu)
+    multicore = next(spec for spec in specs if not spec.is_gpu)
+
+    serial_s = _timed(
+        lambda: build_training_database(
+            gpu, multicore, num_samples=num_samples, seed=seed, workers=1
+        )
+    )
+    parallel_s = _timed(
+        lambda: build_training_database(
+            gpu, multicore, num_samples=num_samples, seed=seed, workers=workers
+        )
+    )
+    return {
+        "pair": list(pair),
+        "num_samples": num_samples,
+        "workers": workers,
+        "serial_build_s": serial_s,
+        "parallel_build_s": parallel_s,
+        "serial_s_per_sample": serial_s / max(num_samples, 1),
+        "parallel_s_per_sample": parallel_s / max(num_samples, 1),
+        "serial_samples_per_sec": max(num_samples, 1) / serial_s,
+        "parallel_samples_per_sec": max(num_samples, 1) / parallel_s,
+        "parallel_speedup": serial_s / parallel_s,
+    }
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run_bench(
+    *,
+    accelerator: str = "xeonphi7120p",
+    pair: tuple[str, str] = DEFAULT_PAIR,
+    num_samples: int = 48,
+    workers: int = 4,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Run both benches and return the JSON payload."""
+    spec = get_accelerator(accelerator)
+    return {
+        "bench": "sweep",
+        "lattice_sweep": bench_lattice_sweep(spec, repeats=repeats),
+        "db_build": bench_db_build(
+            pair, num_samples=num_samples, workers=workers, seed=seed
+        ),
+    }
+
+
+def check_regressions(old: dict, new: dict) -> list[str]:
+    """Tracked metrics that regressed by more than the tolerance."""
+    regressions = []
+    for section, key in _GATED_METRICS:
+        old_value = old.get(section, {}).get(key)
+        new_value = new.get(section, {}).get(key)
+        if not old_value or not new_value:
+            continue
+        if new_value < old_value * (1.0 - REGRESSION_TOLERANCE):
+            regressions.append(
+                f"{section}.{key}: {old_value:.1f} -> {new_value:.1f} "
+                f"({new_value / old_value - 1.0:+.0%})"
+            )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--accelerator", default="xeonphi7120p",
+        help="accelerator whose lattice to sweep (default: xeonphi7120p)",
+    )
+    parser.add_argument(
+        "--pair", nargs=2, default=list(DEFAULT_PAIR), metavar=("GPU", "MC"),
+        help="accelerator pair for the DB-build bench",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=48,
+        help="training samples for the DB-build bench (default: 48)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker processes for the parallel DB build (default: 4)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats for the sweep bench; best-of is recorded",
+    )
+    parser.add_argument(
+        "--output", default=DEFAULT_OUTPUT,
+        help=f"result JSON path (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="overwrite the baseline even on a >25%% regression",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_bench(
+        accelerator=args.accelerator,
+        pair=(args.pair[0], args.pair[1]),
+        num_samples=args.samples,
+        workers=args.workers,
+        repeats=args.repeats,
+    )
+
+    sweep = payload["lattice_sweep"]
+    db = payload["db_build"]
+    print(
+        f"lattice sweep [{sweep['accelerator']}] "
+        f"{sweep['lattice_points']} configs: "
+        f"scalar {sweep['scalar_configs_per_sec']:.0f} cfg/s, "
+        f"batch {sweep['batch_configs_per_sec']:.0f} cfg/s "
+        f"({sweep['speedup']:.1f}x)"
+    )
+    print(
+        f"db build [{db['pair'][0]}+{db['pair'][1]}] {db['num_samples']} samples: "
+        f"serial {db['serial_s_per_sample'] * 1e3:.1f} ms/sample, "
+        f"{db['workers']} workers {db['parallel_s_per_sample'] * 1e3:.1f} ms/sample "
+        f"({db['parallel_speedup']:.1f}x)"
+    )
+
+    output = Path(args.output)
+    if output.exists():
+        try:
+            old = json.loads(output.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            old = {}  # corrupt baseline: treat as absent
+        regressions = check_regressions(old, payload)
+        if regressions and not args.force:
+            print(
+                f"REFUSING to overwrite {output}: throughput regressed "
+                f">{REGRESSION_TOLERANCE:.0%} (pass --force to record anyway)",
+                file=sys.stderr,
+            )
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 2
+    atomic_write_text(output, json.dumps(payload, indent=2) + "\n")
+    print(f"recorded {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

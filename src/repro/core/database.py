@@ -17,6 +17,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import TrainingError
+from repro.ioutil import atomic_write_text
 
 __all__ = ["TrainingDatabase"]
 
@@ -67,7 +68,8 @@ class TrainingDatabase:
         )
 
     def save(self, path: str | os.PathLike[str]) -> None:
-        """Persist to JSON."""
+        """Persist to JSON (atomically — a killed or concurrent process
+        can never leave a truncated database behind)."""
         payload = {
             "pair": list(self.pair),
             "metric": self.metric,
@@ -75,7 +77,7 @@ class TrainingDatabase:
             "targets": self.targets,
             "objectives": self.objectives,
         }
-        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+        atomic_write_text(path, json.dumps(payload))
 
     @classmethod
     def load(cls, path: str | os.PathLike[str]) -> "TrainingDatabase":

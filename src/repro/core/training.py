@@ -4,20 +4,23 @@ Synthetic benchmarks (phase mixes per Figure 9) paired with synthetic
 graph characteristics (Table III ranges) are swept over the M lattice on
 both accelerators; the best configuration per sample becomes the training
 label.  The paper runs "several million" hardware combinations over hours;
-the simulator makes each sweep cheap enough that a few hundred samples
-cover the discretized (B, I) grid (documented in DESIGN.md).
+the vectorized batch evaluator makes each per-sample sweep a handful of
+NumPy passes, and :func:`build_training_database` can additionally fan
+samples out over worker processes (``workers=N``) while keeping the
+database content byte-identical to the serial build.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
+
 import numpy as np
 
-from repro.accel.simulator import simulate
 from repro.core.database import TrainingDatabase
 from repro.core.encoding import encode_config, encode_features
-from repro.machine.space import iter_configs
 from repro.machine.specs import AcceleratorSpec
-from repro.workload.profile import build_profile, footprint_for
+from repro.tuning.exhaustive import best_on_pair
+from repro.workload.profile import build_profile
 from repro.workload.synthetic import SyntheticSample, generate_samples
 
 __all__ = ["label_sample", "build_training_database"]
@@ -32,8 +35,9 @@ def label_sample(
 ) -> tuple[np.ndarray, np.ndarray, float]:
     """Auto-tune one synthetic sample; returns (features, target, best).
 
-    The full lattice on both accelerators is swept (the OpenTuner role)
-    and the winning configuration is encoded as the label.
+    The full lattice on both accelerators is swept (the OpenTuner role,
+    via :func:`repro.tuning.exhaustive.best_on_pair`) and the winning
+    configuration is encoded as the label.
     """
     graph = sample.graph
     profile = build_profile(
@@ -44,19 +48,18 @@ def label_sample(
         source_vertices=graph.num_vertices,
         source_edges=graph.num_edges,
     )
-    best_result = None
-    best_value = float("inf")
-    for spec in (gpu, multicore):
-        for config in iter_configs(spec):
-            result = simulate(profile, spec, config)
-            value = result.objective(metric)
-            if value < best_value:
-                best_value = value
-                best_result = result
-    assert best_result is not None
+    best_result = best_on_pair(profile, (gpu, multicore), metric=metric)
     features = encode_features(sample.bvars, sample.ivars)
     target = encode_config(best_result.config, gpu, multicore)
-    return features, target, best_value
+    return features, target, best_result.objective(metric)
+
+
+def _label_sample_task(
+    args: tuple[SyntheticSample, AcceleratorSpec, AcceleratorSpec, str],
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Picklable worker wrapper for :func:`label_sample`."""
+    sample, gpu, multicore, metric = args
+    return label_sample(sample, gpu, multicore, metric=metric)
 
 
 def build_training_database(
@@ -66,12 +69,32 @@ def build_training_database(
     num_samples: int = 400,
     metric: str = "time",
     seed: int = 0,
+    workers: int = 1,
 ) -> TrainingDatabase:
-    """Generate, auto-tune, and collect the offline database."""
+    """Generate, auto-tune, and collect the offline database.
+
+    Args:
+        gpu / multicore: the accelerator pair to label for.
+        num_samples: synthetic samples to generate.
+        metric: tuning objective the labels optimize.
+        seed: sample-generation seed.
+        workers: worker processes to label samples with.  Labeling is a
+            pure function of the (pre-generated) sample list and results
+            are collected in sample order, so any worker count produces a
+            byte-identical database for the same seed.
+    """
     database = TrainingDatabase(pair=(gpu.name, multicore.name), metric=metric)
-    for sample in generate_samples(num_samples, seed=seed):
-        features, target, best = label_sample(
-            sample, gpu, multicore, metric=metric
-        )
+    samples = generate_samples(num_samples, seed=seed)
+    if workers > 1 and len(samples) > 1:
+        tasks = [(sample, gpu, multicore, metric) for sample in samples]
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            rows = list(pool.map(_label_sample_task, tasks, chunksize=chunksize))
+    else:
+        rows = [
+            label_sample(sample, gpu, multicore, metric=metric)
+            for sample in samples
+        ]
+    for features, target, best in rows:
         database.add(features, target, best)
     return database

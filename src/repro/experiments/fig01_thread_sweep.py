@@ -20,9 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.accel.batch import ConfigTable, batch_evaluate
 from repro.machine.space import thread_sweep_configs
 from repro.machine.specs import get_accelerator
-from repro.runtime.deploy import prepare_workload, run_workload
+from repro.runtime.deploy import prepare_workload
 
 __all__ = ["SweepCurve", "Fig01Result", "run_experiment", "render"]
 
@@ -75,11 +76,15 @@ def run_experiment(
             workload = prepare_workload(benchmark, dataset)
             for accel in _ACCELERATORS:
                 spec = get_accelerator(accel)
-                fractions, times = [], []
-                for fraction, config in thread_sweep_configs(spec, num_points):
-                    result = run_workload(workload, spec, config)
-                    fractions.append(fraction)
-                    times.append(result.time_ms)
+                points = thread_sweep_configs(spec, num_points)
+                fractions = [fraction for fraction, _ in points]
+                # One vectorized pass over the whole sweep instead of one
+                # simulate() call per thread count.
+                table = ConfigTable.from_configs(
+                    spec, (config for _, config in points)
+                )
+                batch = batch_evaluate(workload.profile, spec, table)
+                times = [t * 1e3 for t in batch.time_s.tolist()]
                 curves.append(
                     SweepCurve(
                         benchmark=benchmark,

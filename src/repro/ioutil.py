@@ -1,0 +1,47 @@
+"""Small filesystem utilities shared by the cache/persistence layers.
+
+Cache entries (kernel traces, training databases, benchmark baselines)
+are written by long-running processes that can be killed at any point,
+and several processes can race on the same entry.  A plain
+``Path.write_text`` can leave a truncated JSON blob behind in either
+case; readers treat such blobs as cache misses, but the entry then has
+to be regenerated.  :func:`atomic_write_text` removes the failure mode
+at the source: the payload is written to a temp file in the *same*
+directory and published with :func:`os.replace`, which is atomic on
+POSIX and Windows — readers see either the old complete file or the new
+complete file, never a partial one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(
+    path: str | os.PathLike[str], text: str, *, encoding: str = "utf-8"
+) -> None:
+    """Atomically replace ``path`` with ``text``.
+
+    The temp file lives next to the target (same filesystem, so
+    ``os.replace`` stays a rename, not a copy) and is unlinked if the
+    write or the rename fails, so crashes leave at most a stray
+    ``*.tmp`` file — never a truncated target.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -13,6 +13,7 @@ import json
 import os
 from pathlib import Path
 
+from repro.ioutil import atomic_write_text
 from repro.workload.phases import PhaseKind
 from repro.workload.profile import KernelTrace, PhaseTrace
 
@@ -88,11 +89,14 @@ def load_trace(key: str) -> KernelTrace | None:
 
 
 def store_trace(key: str, trace: KernelTrace) -> None:
-    """Persist a trace under ``key`` (memory + disk)."""
+    """Persist a trace under ``key`` (memory + disk).
+
+    The disk write is atomic (temp file + ``os.replace``), so concurrent
+    test/benchmark processes racing on the same entry — or a process
+    killed mid-write — can never leave a truncated JSON blob behind.
+    """
     _memory_cache[key] = trace
-    _key_path(key).write_text(
-        json.dumps(_trace_to_dict(trace)), encoding="utf-8"
-    )
+    atomic_write_text(_key_path(key), json.dumps(_trace_to_dict(trace)))
 
 
 def clear_cache() -> None:

@@ -4,12 +4,17 @@ The paper's ideal case "manually optimizes by running all possible
 configurations"; here the lattice is small enough to sweep outright, so
 the oracle is the true lattice optimum for a workload on an accelerator
 pair.  The same sweep labels the training database.
+
+All three entry points run on the vectorized batch evaluator
+(:mod:`repro.accel.batch`), which costs the whole lattice in one NumPy
+pass instead of one :func:`simulate` call per point; the equivalence
+suite pins the batch path to the scalar reference model.
 """
 
 from __future__ import annotations
 
-from repro.accel.simulator import SimulationResult, simulate
-from repro.machine.space import iter_configs
+from repro.accel.batch import batch_evaluate
+from repro.accel.simulator import SimulationResult
 from repro.machine.specs import AcceleratorSpec
 from repro.workload.profile import WorkloadProfile
 
@@ -19,12 +24,15 @@ __all__ = ["best_on_accelerator", "best_on_pair", "sweep"]
 def sweep(
     profile: WorkloadProfile,
     spec: AcceleratorSpec,
-    *,
-    metric: str = "time",
 ) -> list[SimulationResult]:
-    """Simulate every lattice configuration on ``spec``; results are in
-    lattice order (stable for reproducibility)."""
-    return [simulate(profile, spec, config) for config in iter_configs(spec)]
+    """Evaluate every lattice configuration on ``spec``.
+
+    Results are in lattice order (stable for reproducibility); rank them
+    with :meth:`SimulationResult.objective` for any specific metric.  (An
+    earlier version accepted a ``metric`` argument it never used — callers
+    that want the optimum should use :func:`best_on_accelerator`.)
+    """
+    return batch_evaluate(profile, spec).materialize_all()
 
 
 def best_on_accelerator(
@@ -34,16 +42,7 @@ def best_on_accelerator(
     metric: str = "time",
 ) -> SimulationResult:
     """Best lattice point on one accelerator for the given objective."""
-    best: SimulationResult | None = None
-    best_value = float("inf")
-    for config in iter_configs(spec):
-        result = simulate(profile, spec, config)
-        value = result.objective(metric)
-        if value < best_value:
-            best_value = value
-            best = result
-    assert best is not None  # lattice is never empty
-    return best
+    return batch_evaluate(profile, spec).best(metric)
 
 
 def best_on_pair(

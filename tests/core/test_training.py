@@ -76,6 +76,29 @@ class TestBuildDatabase:
         assert bits == {0, 1}
 
 
+class TestParallelBuild:
+    def test_worker_count_does_not_change_content(self, tmp_path):
+        serial = build_training_database(GPU, PHI, num_samples=6, seed=3, workers=1)
+        parallel = build_training_database(GPU, PHI, num_samples=6, seed=3, workers=3)
+        assert serial.features == parallel.features
+        assert serial.targets == parallel.targets
+        assert serial.objectives == parallel.objectives
+        # Byte-identical persistence regardless of worker count.
+        serial.save(tmp_path / "serial.json")
+        parallel.save(tmp_path / "parallel.json")
+        assert (tmp_path / "serial.json").read_bytes() == (
+            tmp_path / "parallel.json"
+        ).read_bytes()
+
+    def test_more_workers_than_samples(self):
+        db = build_training_database(GPU, PHI, num_samples=2, seed=1, workers=8)
+        assert len(db) == 2
+
+    def test_single_sample_stays_serial(self):
+        db = build_training_database(GPU, PHI, num_samples=1, seed=0, workers=4)
+        assert len(db) == 1
+
+
 class TestDatabasePersistence:
     def test_roundtrip(self, tmp_path):
         db = build_training_database(GPU, PHI, num_samples=3, seed=4)

@@ -65,6 +65,18 @@ class TestLattices:
         spec = get_accelerator("gtx750ti")
         assert lattice_size(spec) == len(list(iter_configs(spec)))
 
+    def test_fast_lattice_size_matches_iteration_all_specs(self):
+        # The closed-form count must agree with actually generating the
+        # lattice, for both accelerator kinds.
+        from repro.machine.specs import ACCELERATORS
+
+        for spec in ACCELERATORS.values():
+            assert lattice_size(spec) == len(list(iter_configs(spec)))
+
+    def test_lattice_size_cached(self):
+        spec = get_accelerator("gtx970")
+        assert lattice_size(spec) == lattice_size(spec)
+
     def test_cpu_lattice_smaller_than_phi(self):
         # Fewer hardware threads and narrower SIMD shrink the space.
         assert lattice_size(get_accelerator("cpu40core")) < lattice_size(

@@ -1,0 +1,69 @@
+"""Tier-1 smoke tests for the lattice-sweep perf harness."""
+
+from __future__ import annotations
+
+import json
+
+from repro.benchmarking.bench_sweep import check_regressions, main
+
+
+def run_main(tmp_path, *extra):
+    output = tmp_path / "BENCH_sweep.json"
+    args = [
+        "--accelerator", "xeonphi7120p",
+        "--samples", "2",
+        "--workers", "2",
+        "--repeats", "1",
+        "--output", str(output),
+        *extra,
+    ]
+    return main(args), output
+
+
+class TestBenchSweepSmoke:
+    def test_emits_payload(self, tmp_path):
+        rc, output = run_main(tmp_path)
+        assert rc == 0
+        payload = json.loads(output.read_text())
+        sweep = payload["lattice_sweep"]
+        assert sweep["accelerator"] == "xeonphi7120p"
+        assert sweep["lattice_points"] > 0
+        assert sweep["scalar_configs_per_sec"] > 0
+        assert sweep["batch_configs_per_sec"] > 0
+        # The acceptance bar for the vectorized sweep.
+        assert sweep["speedup"] >= 10.0
+        db = payload["db_build"]
+        assert db["num_samples"] == 2
+        assert db["serial_build_s"] > 0
+        assert db["parallel_build_s"] > 0
+
+    def test_refuses_regression_without_force(self, tmp_path):
+        rc, output = run_main(tmp_path)
+        assert rc == 0
+        # Forge a baseline with impossible throughput: the fresh run must
+        # look like a >25% regression and be refused.
+        baseline = json.loads(output.read_text())
+        baseline["lattice_sweep"]["batch_configs_per_sec"] *= 1e6
+        output.write_text(json.dumps(baseline))
+        forged = output.read_text()
+
+        rc, output = run_main(tmp_path)
+        assert rc == 2
+        assert output.read_text() == forged  # baseline untouched
+
+        rc, output = run_main(tmp_path, "--force")
+        assert rc == 0
+        recorded = json.loads(output.read_text())
+        assert recorded["lattice_sweep"]["batch_configs_per_sec"] < 1e12
+
+
+class TestRegressionCheck:
+    def test_flags_only_large_drops(self):
+        old = {"lattice_sweep": {"batch_configs_per_sec": 1000.0}}
+        ok = {"lattice_sweep": {"batch_configs_per_sec": 800.0}}
+        bad = {"lattice_sweep": {"batch_configs_per_sec": 700.0}}
+        assert check_regressions(old, ok) == []
+        assert len(check_regressions(old, bad)) == 1
+
+    def test_missing_sections_ignored(self):
+        assert check_regressions({}, {"lattice_sweep": {}}) == []

@@ -1,0 +1,104 @@
+"""Tests for atomic JSON persistence and crash/corruption behavior."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.database import TrainingDatabase
+from repro.errors import TrainingError
+from repro.ioutil import atomic_write_text
+from repro.runtime import trace_cache
+from repro.workload.phases import PhaseKind
+from repro.workload.profile import KernelTrace, PhaseTrace
+
+
+def make_trace() -> KernelTrace:
+    return KernelTrace(
+        benchmark="bench",
+        graph_name="g",
+        num_iterations=3,
+        phases=(
+            PhaseTrace(
+                kind=PhaseKind.VERTEX_DIVISION,
+                items=10.0,
+                edges=40.0,
+                max_parallelism=10.0,
+            ),
+        ),
+    )
+
+
+class TestAtomicWriteText:
+    def test_writes_and_overwrites(self, tmp_path):
+        path = tmp_path / "payload.json"
+        atomic_write_text(path, "first")
+        assert path.read_text() == "first"
+        atomic_write_text(path, "second")
+        assert path.read_text() == "second"
+
+    def test_no_temp_files_left_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "x.json", "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["x.json"]
+
+    def test_failed_replace_preserves_original(self, tmp_path, monkeypatch):
+        path = tmp_path / "keep.json"
+        path.write_text("original")
+
+        def boom(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            atomic_write_text(path, "replacement")
+        # Original intact, and the temp file was cleaned up.
+        assert path.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["keep.json"]
+
+
+class TestTraceCacheCrashSafety:
+    def test_partial_temp_file_is_ignored(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        trace_cache.clear_cache()
+        trace_cache.store_trace("k", make_trace())
+        # Simulate a killed writer: a partial temp file next to the entry.
+        (tmp_path / "k.json.ab12.tmp").write_text('{"benchmark": "ben')
+        trace_cache._memory_cache.clear()
+        loaded = trace_cache.load_trace("k")
+        assert loaded is not None
+        assert loaded.benchmark == "bench"
+        trace_cache.clear_cache()  # must not crash on the stray temp file
+
+    def test_truncated_entry_is_a_miss(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        trace_cache.clear_cache()
+        (tmp_path / "broken.json").write_text('{"benchmark": "ben')
+        assert trace_cache.load_trace("broken") is None
+
+
+class TestDatabaseAtomicSave:
+    def test_save_is_atomic_under_failure(self, tmp_path, monkeypatch):
+        db = TrainingDatabase(pair=("a", "b"))
+        db.add([0.0] * 17, [0.0] * 11, 1.0)
+        path = tmp_path / "db.json"
+        db.save(path)
+        before = path.read_bytes()
+
+        def boom(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", boom)
+        db.add([1.0] * 17, [1.0] * 11, 2.0)
+        with pytest.raises(OSError):
+            db.save(path)
+        assert path.read_bytes() == before
+        back = TrainingDatabase.load(path)
+        assert len(back) == 1
+
+    def test_truncated_database_raises_training_error(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps({"pair": ["a", "b"]})[:-4])
+        with pytest.raises(TrainingError):
+            TrainingDatabase.load(path)
