@@ -1,10 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-force
+.PHONY: test bench bench-force fuzz fuzz-deep
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Seeded property-based validation (kernel invariants + batch/scalar
+# differential oracle).  Failures print a REPRO_FUZZ_SEED replay line.
+fuzz:
+	$(PYTHON) -m repro.validation.fuzz --tier quick
+
+fuzz-deep:
+	$(PYTHON) -m repro.validation.fuzz --tier deep
+	$(PYTHON) -m pytest -m fuzz -q
 
 # Run the lattice-sweep / DB-build perf harness and update BENCH_sweep.json.
 # Refuses to record a >25% throughput regression; use bench-force to override.

@@ -55,3 +55,15 @@ class TrainingError(PredictorError):
 
 class SimulationError(ReproError):
     """Raised when the accelerator simulator receives an invalid workload."""
+
+
+class ValidationError(ReproError):
+    """Raised by the property-based validation subsystem."""
+
+
+class InvariantViolation(ValidationError):
+    """Raised when a kernel result breaks a registered invariant."""
+
+
+class OracleMismatchError(ValidationError):
+    """Raised when the batch cost model diverges from the scalar reference."""

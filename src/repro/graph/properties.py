@@ -76,4 +76,6 @@ def gini_coefficient(values: np.ndarray) -> float:
         return 0.0
     n = values.size
     ranks = np.arange(1, n + 1, dtype=np.float64)
-    return float((2.0 * np.dot(ranks, values) / (n * total)) - (n + 1) / n)
+    gini = (2.0 * np.dot(ranks, values) / (n * total)) - (n + 1) / n
+    # Rounding can land an epsilon outside [0, 1] (e.g. all-equal samples).
+    return float(min(max(gini, 0.0), 1.0))

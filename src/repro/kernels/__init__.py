@@ -7,7 +7,12 @@ from repro.kernels.connected_components import ConnectedComponents
 from repro.kernels.dfs import DepthFirstSearch
 from repro.kernels.pagerank import PageRank
 from repro.kernels.pagerank_dp import PageRankDelta
-from repro.kernels.registry import KERNELS, get_kernel, kernel_names
+from repro.kernels.registry import (
+    KERNELS,
+    get_kernel,
+    kernel_names,
+    normalize_benchmark_name,
+)
 from repro.kernels.sssp_bf import SsspBellmanFord
 from repro.kernels.sssp_delta import SsspDeltaStepping
 from repro.kernels.triangle_counting import TriangleCounting
@@ -28,4 +33,5 @@ __all__ = [
     "get_kernel",
     "graph_skew",
     "kernel_names",
+    "normalize_benchmark_name",
 ]

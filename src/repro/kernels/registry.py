@@ -14,7 +14,7 @@ from repro.kernels.sssp_bf import SsspBellmanFord
 from repro.kernels.sssp_delta import SsspDeltaStepping
 from repro.kernels.triangle_counting import TriangleCounting
 
-__all__ = ["KERNELS", "kernel_names", "get_kernel"]
+__all__ = ["KERNELS", "kernel_names", "normalize_benchmark_name", "get_kernel"]
 
 KERNELS: dict[str, type[Kernel]] = {
     cls.name: cls
@@ -37,13 +37,24 @@ def kernel_names() -> list[str]:
     return list(KERNELS)
 
 
+def normalize_benchmark_name(name: str) -> str:
+    """Map a user-facing benchmark spelling onto its canonical key.
+
+    Accepts paper spellings ("PageRank-DP"), CLI-friendly variants
+    ("sssp delta"), and any casing; canonical keys map to themselves, so
+    ``normalize_benchmark_name`` is idempotent and ``kernel_names()``
+    round-trips through ``get_kernel``.
+    """
+    return name.lower().replace("-", "_").replace(".", "").replace(" ", "_")
+
+
 def get_kernel(name: str) -> Kernel:
-    """Instantiate a kernel by canonical name.
+    """Instantiate a kernel by canonical name or any recognised alias.
 
     Raises:
         UnknownBenchmarkError: when the name is not registered.
     """
-    key = name.lower().replace("-", "_").replace(".", "").replace(" ", "_")
+    key = normalize_benchmark_name(name)
     if key not in KERNELS:
         raise UnknownBenchmarkError(
             f"unknown benchmark {name!r}; known: {kernel_names()}"

@@ -29,7 +29,7 @@ from repro.machine.specs import AcceleratorSpec
 from repro.runtime.trace_cache import load_trace, store_trace
 from repro.workload.profile import WorkloadProfile, build_profile
 
-__all__ = ["Workload", "prepare_workload", "run_workload"]
+__all__ = ["Workload", "prepare_workload", "run_workload", "trace_cache_key"]
 
 # Bump when kernel instrumentation changes so stale cached traces are
 # regenerated rather than silently reused.
@@ -54,9 +54,19 @@ class Workload:
     profile: WorkloadProfile
 
 
+def trace_cache_key(benchmark: str, dataset: str) -> str:
+    """Versioned cache key for a proxy-graph kernel trace.
+
+    The key embeds ``_TRACE_VERSION``, so bumping the version orphans
+    every previously stored entry: stale traces become cache misses and
+    are regenerated instead of silently reused.
+    """
+    return f"trace-{_TRACE_VERSION}-{benchmark}-{dataset}"
+
+
 def _proxy_trace(benchmark: str, dataset: str):
     """Run (or recall) the kernel on the dataset proxy graph."""
-    key = f"trace-{_TRACE_VERSION}-{benchmark}-{dataset}"
+    key = trace_cache_key(benchmark, dataset)
     cached = load_trace(key)
     if cached is not None:
         return cached

@@ -1,0 +1,86 @@
+"""Property-based validation: kernel invariants + differential oracle.
+
+The correctness-tooling layer the perf roadmap stands on.  Three parts:
+
+* :mod:`repro.validation.invariants` — a registry of metamorphic and
+  algebraic checks per kernel, run against randomized generator graphs
+  (:mod:`repro.validation.generators`).
+* :mod:`repro.validation.oracle` — a differential oracle pinning the
+  vectorized batch cost model to the scalar ``simulate`` reference and
+  the tuning layer's argmin to scalar brute force.
+* :mod:`repro.validation.fuzz` — the seeded driver
+  (``python -m repro.validation.fuzz`` / ``make fuzz``); every failure
+  message embeds a ``REPRO_FUZZ_SEED=... --cases 1`` replay one-liner.
+"""
+
+from __future__ import annotations
+
+from repro.validation.generators import (
+    CANONICAL_FAMILY_PARAMS,
+    GraphCase,
+    sample_family_params,
+    sample_graph_case,
+)
+from repro.validation.invariants import (
+    INVARIANTS,
+    Invariant,
+    KernelCase,
+    check_kernel_case,
+    invariant,
+    invariants_for,
+    iter_all_kernel_checks,
+    registered_benchmarks,
+    run_kernel_case,
+    sample_kernel_params,
+)
+from repro.validation.oracle import (
+    REL_TOL,
+    check_argmin_equivalence,
+    check_batch_equivalence,
+    check_exhaustive_against_scalar,
+    random_config,
+    random_config_table,
+    random_profile,
+    run_oracle_case,
+)
+from repro.validation.seeds import (
+    DEFAULT_MASTER_SEED,
+    SEED_ENV_VAR,
+    FuzzFailure,
+    derive_seed,
+    iterate_case_seeds,
+    master_seed_from_env,
+    replay_command,
+)
+
+__all__ = [
+    "CANONICAL_FAMILY_PARAMS",
+    "DEFAULT_MASTER_SEED",
+    "FuzzFailure",
+    "GraphCase",
+    "INVARIANTS",
+    "Invariant",
+    "KernelCase",
+    "REL_TOL",
+    "SEED_ENV_VAR",
+    "check_argmin_equivalence",
+    "check_batch_equivalence",
+    "check_exhaustive_against_scalar",
+    "check_kernel_case",
+    "derive_seed",
+    "invariant",
+    "invariants_for",
+    "iter_all_kernel_checks",
+    "iterate_case_seeds",
+    "master_seed_from_env",
+    "random_config",
+    "random_config_table",
+    "random_profile",
+    "registered_benchmarks",
+    "replay_command",
+    "run_kernel_case",
+    "run_oracle_case",
+    "sample_family_params",
+    "sample_graph_case",
+    "sample_kernel_params",
+]

@@ -1,0 +1,111 @@
+"""Randomized generator-graph sampling for the invariant fuzzer.
+
+Cases are drawn from the same registry (:data:`repro.graph.generators.
+GENERATORS`) the training pipeline uses, with per-family parameter
+samplers sized so a case runs every kernel in milliseconds while still
+covering the structural extremes the kernels branch on: empty edge sets,
+grids with huge diameters, hub-dominated social graphs, near-regular
+bands.  :data:`CANONICAL_FAMILY_PARAMS` pins one small, representative
+parameterization per family for the registry-wide determinism tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import GENERATORS, make_graph
+
+__all__ = [
+    "CANONICAL_FAMILY_PARAMS",
+    "GraphCase",
+    "sample_family_params",
+    "sample_graph_case",
+]
+
+# One deterministic, fast parameterization per registered family; the
+# generator-registry tests parametrize over this mapping, and a guard test
+# keeps its keys in lockstep with GENERATORS.
+CANONICAL_FAMILY_PARAMS: dict[str, dict[str, object]] = {
+    "uniform": {"num_vertices": 60, "num_edges": 240},
+    "kronecker": {"scale": 6, "edge_factor": 4},
+    "road": {"width": 8, "height": 7},
+    "social": {"num_vertices": 80, "avg_degree": 6},
+    "rgg": {"num_vertices": 80, "target_avg_degree": 6.0},
+    "cage": {"num_vertices": 80, "avg_degree": 5},
+}
+
+
+@dataclass(frozen=True)
+class GraphCase:
+    """One sampled fuzz input: the graph plus how to regenerate it."""
+
+    family: str
+    params: dict[str, object]
+    graph: CSRGraph
+
+    def describe(self) -> str:
+        """Human-readable reconstruction recipe (for failure messages)."""
+        kwargs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"make_graph({self.family!r}, {kwargs})"
+
+
+def sample_family_params(
+    family: str, rng: np.random.Generator
+) -> dict[str, object]:
+    """Draw randomized constructor kwargs for one generator family.
+
+    Raises:
+        KeyError: for families without a sampler (keep in sync with the
+            registry; the test suite enforces this).
+    """
+    seed = int(rng.integers(0, 2**31))
+    if family == "uniform":
+        vertices = int(rng.integers(2, 120))
+        return {
+            "num_vertices": vertices,
+            # Include zero-edge graphs: kernels must survive them.
+            "num_edges": int(rng.integers(0, 6 * vertices)),
+            "seed": seed,
+        }
+    if family == "kronecker":
+        return {
+            "scale": int(rng.integers(2, 8)),
+            "edge_factor": int(rng.integers(1, 9)),
+            "seed": seed,
+        }
+    if family == "road":
+        return {
+            "width": int(rng.integers(2, 12)),
+            "height": int(rng.integers(2, 12)),
+            "seed": seed,
+        }
+    if family == "social":
+        return {
+            "num_vertices": int(rng.integers(2, 150)),
+            "avg_degree": int(rng.integers(1, 9)),
+            "seed": seed,
+        }
+    if family == "rgg":
+        return {
+            "num_vertices": int(rng.integers(2, 150)),
+            "target_avg_degree": float(rng.uniform(1.0, 9.0)),
+            "seed": seed,
+        }
+    if family == "cage":
+        return {
+            "num_vertices": int(rng.integers(4, 150)),
+            "avg_degree": int(rng.integers(1, 7)),
+            "seed": seed,
+        }
+    raise KeyError(f"no fuzz parameter sampler for generator family {family!r}")
+
+
+def sample_graph_case(rng: np.random.Generator) -> GraphCase:
+    """Draw one graph case: uniform family choice, randomized parameters."""
+    families = sorted(GENERATORS)
+    family = families[int(rng.integers(0, len(families)))]
+    params = sample_family_params(family, rng)
+    return GraphCase(family=family, params=params, graph=make_graph(family, **params))

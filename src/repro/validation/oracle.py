@@ -1,0 +1,247 @@
+"""Differential oracle: batch cost model vs the scalar reference.
+
+The vectorized evaluator (:mod:`repro.accel.batch`) re-expresses the cost
+and energy math of :func:`repro.accel.simulator.simulate` as array
+expressions; every later perf PR that touches either path leans on this
+oracle.  A fuzz case draws a randomized workload profile, an accelerator
+spec, and a randomized set of M configurations (deliberately sampled
+*off* the tuning lattice as well as on it, so the ceiling-rule clamping
+is exercised), then asserts
+
+* ``batch_evaluate`` matches ``simulate`` to 1e-9 relative error for
+  time, energy, and utilization on every configuration, and
+* the batch argmin (used by :mod:`repro.tuning.exhaustive`) agrees with
+  a brute-force scalar scan for a randomly chosen objective metric.
+
+Mismatches raise :class:`OracleMismatchError` naming the profile seed,
+spec, config index, and the offending quantity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.batch import ConfigTable, batch_evaluate
+from repro.accel.simulator import SimulationResult, simulate
+from repro.errors import OracleMismatchError
+from repro.machine.mvars import MachineConfig, OmpSchedule
+from repro.machine.space import iter_configs
+from repro.machine.specs import ACCELERATORS, AcceleratorSpec
+from repro.tuning.exhaustive import best_on_accelerator
+from repro.workload.profile import WorkloadProfile, build_profile
+from repro.workload.synthetic import generate_samples
+
+__all__ = [
+    "REL_TOL",
+    "random_config",
+    "random_config_table",
+    "random_profile",
+    "check_batch_equivalence",
+    "check_argmin_equivalence",
+    "check_exhaustive_against_scalar",
+    "run_oracle_case",
+]
+
+REL_TOL = 1e-9
+_METRICS = ("time", "energy", "edp")
+_SCHEDULE_CHOICES = tuple(OmpSchedule)
+
+
+def random_profile(rng: np.random.Generator) -> WorkloadProfile:
+    """One randomized workload profile from the synthetic-training sampler.
+
+    Scale factors are drawn too, so profiles cover both the proxy-sized
+    and paper-sized (streaming-triggering) regimes.
+    """
+    sample = generate_samples(1, seed=int(rng.integers(0, 2**31)))[0]
+    graph = sample.graph
+    scale = float(rng.choice([1.0, 1.0, 8.0, 128.0]))
+    return build_profile(
+        sample.trace,
+        sample.bvars,
+        target_vertices=graph.num_vertices * scale,
+        target_edges=graph.num_edges * scale,
+        source_vertices=graph.num_vertices,
+        source_edges=graph.num_edges,
+        work_iteration_scale=float(rng.choice([0.5, 1.0, 1.0, 4.0])),
+        overhead_iteration_scale=float(rng.choice([0.5, 1.0, 1.0, 4.0])),
+    )
+
+
+def random_config(spec: AcceleratorSpec, rng: np.random.Generator) -> MachineConfig:
+    """A randomized M configuration, intentionally allowed to exceed the
+    spec's maxima so the ceiling rule (clamping) is part of the contract."""
+    return MachineConfig(
+        accelerator=spec.name,
+        cores=int(rng.integers(1, 2 * spec.cores + 1)),
+        threads_per_core=int(rng.integers(1, 9)),
+        blocktime_ms=float(rng.uniform(1.0, 1000.0)),
+        placement_core=float(rng.uniform(0.0, 1.0)),
+        placement_thread=float(rng.uniform(0.0, 1.0)),
+        placement_offset=float(rng.uniform(0.0, 1.0)),
+        affinity=float(rng.uniform(0.0, 1.0)),
+        simd_width=int(rng.choice([1, 2, 4, 8, 16, 32])),
+        omp_schedule=_SCHEDULE_CHOICES[int(rng.integers(0, len(_SCHEDULE_CHOICES)))],
+        omp_chunk=int(rng.choice([1, 8, 64, 512])),
+        gpu_global_threads=int(rng.integers(1, 2 * spec.max_threads + 1)),
+        gpu_local_threads=int(rng.choice([1, 32, 64, 128, 256, 512, 1024, 2048])),
+    )
+
+
+def random_config_table(
+    spec: AcceleratorSpec, rng: np.random.Generator, num_configs: int = 24
+) -> ConfigTable:
+    """A randomized :class:`ConfigTable` mixing lattice and off-lattice
+    points (the lattice rows keep the tuning path honest; the random rows
+    cover the rest of the M space)."""
+    lattice = list(iter_configs(spec))
+    picks = rng.integers(0, len(lattice), size=max(1, num_configs // 2))
+    configs = [lattice[int(i)] for i in picks]
+    configs += [
+        random_config(spec, rng) for _ in range(max(1, num_configs - len(configs)))
+    ]
+    return ConfigTable.from_configs(spec, configs)
+
+
+def _mismatch(
+    spec: AcceleratorSpec,
+    index: int,
+    quantity: str,
+    batch_value: float,
+    scalar_value: float,
+) -> OracleMismatchError:
+    return OracleMismatchError(
+        f"batch/scalar divergence on {spec.name} config #{index}: "
+        f"{quantity} batch={batch_value!r} scalar={scalar_value!r} "
+        f"(rel err {abs(batch_value - scalar_value) / max(abs(scalar_value), 1e-300):.3e}, "
+        f"tolerance {REL_TOL:g})"
+    )
+
+
+def check_batch_equivalence(
+    profile: WorkloadProfile,
+    spec: AcceleratorSpec,
+    table: ConfigTable,
+    rel_tol: float = REL_TOL,
+) -> None:
+    """Assert batch == scalar for every config in ``table``.
+
+    Raises:
+        OracleMismatchError: on any divergence beyond ``rel_tol``.
+    """
+    result = batch_evaluate(profile, spec, table)
+    for index, config in enumerate(result.configs):
+        reference = simulate(profile, spec, config)
+        pairs = (
+            ("time_s", float(result.time_s[index]), reference.time_s),
+            ("energy_j", float(result.energy_j[index]), reference.energy_j),
+            (
+                "utilization",
+                float(result.utilization[index]),
+                reference.utilization,
+            ),
+        )
+        for quantity, batch_value, scalar_value in pairs:
+            tolerance = rel_tol * abs(scalar_value) + 1e-12
+            if abs(batch_value - scalar_value) > tolerance:
+                raise _mismatch(spec, index, quantity, batch_value, scalar_value)
+
+
+def _scalar_argmin(
+    profile: WorkloadProfile,
+    spec: AcceleratorSpec,
+    configs: tuple[MachineConfig, ...],
+    metric: str,
+) -> tuple[int, SimulationResult]:
+    """Brute-force scalar scan: first strict minimum, in table order."""
+    best_index = 0
+    best: SimulationResult | None = None
+    for index, config in enumerate(configs):
+        candidate = simulate(profile, spec, config)
+        if best is None or candidate.objective(metric) < best.objective(metric):
+            best_index, best = index, candidate
+    assert best is not None  # ConfigTable guarantees >= 1 config
+    return best_index, best
+
+
+def check_argmin_equivalence(
+    profile: WorkloadProfile,
+    spec: AcceleratorSpec,
+    table: ConfigTable,
+    metric: str,
+    rel_tol: float = REL_TOL,
+) -> None:
+    """Assert the batch argmin matches a brute-force scalar scan.
+
+    The comparison is on objective *values* (near-ties may legally resolve
+    to different indices within the 1e-9 equivalence band).
+
+    Raises:
+        OracleMismatchError: when the winning objectives disagree.
+    """
+    result = batch_evaluate(profile, spec, table)
+    batch_best = result.materialize(result.argbest(metric))
+    _, scalar_best = _scalar_argmin(profile, spec, table.configs, metric)
+    batch_value = batch_best.objective(metric)
+    scalar_value = scalar_best.objective(metric)
+    tolerance = rel_tol * abs(scalar_value) + 1e-12
+    if abs(batch_value - scalar_value) > tolerance:
+        raise OracleMismatchError(
+            f"argmin divergence on {spec.name} metric {metric!r}: batch best "
+            f"{batch_value!r} vs brute-force scalar best {scalar_value!r}"
+        )
+
+
+def check_exhaustive_against_scalar(
+    profile: WorkloadProfile,
+    spec: AcceleratorSpec,
+    metric: str = "time",
+    rel_tol: float = REL_TOL,
+) -> None:
+    """Cross-check :func:`repro.tuning.exhaustive.best_on_accelerator`
+    against a full scalar sweep of the spec's lattice.
+
+    Raises:
+        OracleMismatchError: when the tuning-layer optimum drifts from the
+            scalar brute force.
+    """
+    tuned = best_on_accelerator(profile, spec, metric=metric)
+    _, scalar_best = _scalar_argmin(
+        profile, spec, tuple(iter_configs(spec)), metric
+    )
+    tuned_value = tuned.objective(metric)
+    scalar_value = scalar_best.objective(metric)
+    tolerance = rel_tol * abs(scalar_value) + 1e-12
+    if abs(tuned_value - scalar_value) > tolerance:
+        raise OracleMismatchError(
+            f"tuning.exhaustive optimum on {spec.name} ({metric}) = "
+            f"{tuned_value!r} disagrees with scalar brute force "
+            f"{scalar_value!r}"
+        )
+
+
+def run_oracle_case(seed: int) -> str:
+    """One differential fuzz case.
+
+    Draws (profile, spec, config table, metric), then runs the batch
+    equivalence and argmin cross-checks; GPU specs (whose lattices are
+    small) additionally cross-check the tuning layer's full-lattice
+    optimum against scalar brute force.
+
+    Raises:
+        OracleMismatchError: on any batch/scalar divergence.
+    """
+    rng = np.random.default_rng(seed)
+    profile = random_profile(rng)
+    names = sorted(ACCELERATORS)
+    spec = ACCELERATORS[names[int(rng.integers(0, len(names)))]]
+    table = random_config_table(spec, rng)
+    metric = _METRICS[int(rng.integers(0, len(_METRICS)))]
+    check_batch_equivalence(profile, spec, table)
+    check_argmin_equivalence(profile, spec, table, metric)
+    if spec.is_gpu:
+        check_exhaustive_against_scalar(profile, spec, metric)
+    return (
+        f"{profile.benchmark} on {spec.name}: {len(table)} configs, "
+        f"metric={metric}"
+    )

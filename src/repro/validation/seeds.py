@@ -1,0 +1,104 @@
+"""Deterministic seed plumbing for the fuzzing subsystem.
+
+Every fuzz case is driven by a single 63-bit case seed.  A run's master
+seed (the ``REPRO_FUZZ_SEED`` environment variable, ``--seed``, or the
+default) expands into a deterministic per-component seed sequence whose
+*first* element is the master seed itself — so a failure under case seed
+``S`` is replayed exactly by ``REPRO_FUZZ_SEED=S python -m
+repro.validation.fuzz --component <c> --cases 1``, which is the one-liner
+every :class:`FuzzFailure` message carries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections.abc import Iterator
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "SEED_ENV_VAR",
+    "DEFAULT_MASTER_SEED",
+    "FuzzFailure",
+    "derive_seed",
+    "iterate_case_seeds",
+    "master_seed_from_env",
+    "replay_command",
+]
+
+SEED_ENV_VAR = "REPRO_FUZZ_SEED"
+DEFAULT_MASTER_SEED = 20190324  # the paper's ISPASS camera-ready month
+_SEED_BITS = 63
+
+
+def derive_seed(master: int, *parts: object) -> int:
+    """Derive a stable 63-bit child seed from ``master`` and ``parts``.
+
+    SHA-256 over the decimal master seed and the ``repr`` of each part:
+    platform- and process-independent, so a CI failure replays locally.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(master)).encode("ascii"))
+    for part in parts:
+        digest.update(b"\x00")
+        digest.update(repr(part).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big") >> (64 - _SEED_BITS)
+
+
+def iterate_case_seeds(master: int, component: str) -> Iterator[int]:
+    """Yield the case-seed sequence for one component.
+
+    The first seed is ``master`` itself (replay contract, see module
+    docstring); subsequent seeds are hash-derived and collision-free in
+    practice across components.
+    """
+    yield int(master)
+    index = 1
+    while True:
+        yield derive_seed(master, component, index)
+        index += 1
+
+
+def master_seed_from_env(default: int | None = None) -> int:
+    """Master seed from ``REPRO_FUZZ_SEED``, or ``default``.
+
+    Raises:
+        ValidationError: when the environment value is not an integer.
+    """
+    raw = os.environ.get(SEED_ENV_VAR)
+    if raw is None:
+        return DEFAULT_MASTER_SEED if default is None else int(default)
+    try:
+        return int(raw, 0)
+    except ValueError:
+        raise ValidationError(
+            f"{SEED_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
+
+
+def replay_command(component: str, case_seed: int) -> str:
+    """The exact shell one-liner that re-runs a single failing case."""
+    return (
+        f"{SEED_ENV_VAR}={case_seed} python -m repro.validation.fuzz "
+        f"--component {component} --cases 1"
+    )
+
+
+class FuzzFailure(ValidationError):
+    """A fuzz case failed; the message embeds the replay one-liner.
+
+    Attributes:
+        component: which fuzz component failed ("kernels" / "oracle").
+        case_seed: the seed that reproduces the failure.
+        cause: the underlying violation message.
+    """
+
+    def __init__(self, component: str, case_seed: int, cause: str) -> None:
+        self.component = component
+        self.case_seed = int(case_seed)
+        self.cause = cause
+        super().__init__(
+            f"[{component}] fuzz case seed={case_seed} failed: {cause}\n"
+            f"replay with: {replay_command(component, case_seed)}"
+        )

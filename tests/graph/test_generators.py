@@ -20,6 +20,7 @@ from repro.graph.generators import (
     uniform_random_graph,
 )
 from repro.graph.properties import compute_stats
+from repro.validation.generators import CANONICAL_FAMILY_PARAMS
 
 
 class TestUniform:
@@ -180,6 +181,35 @@ class TestBanded:
             banded_graph(10, 0)
         with pytest.raises(GraphError):
             banded_graph(10, 4, bandwidth=0)
+
+
+class TestSeedDeterminism:
+    """Every registered family: same seed → byte-identical CSR,
+    different seed → different CSR (the fuzz replay contract rests on
+    this)."""
+
+    @pytest.mark.parametrize("family", sorted(CANONICAL_FAMILY_PARAMS))
+    def test_same_seed_byte_identical(self, family):
+        params = CANONICAL_FAMILY_PARAMS[family]
+        a = make_graph(family, **params, seed=17)
+        b = make_graph(family, **params, seed=17)
+        assert a.indptr.tobytes() == b.indptr.tobytes()
+        assert a.indices.tobytes() == b.indices.tobytes()
+        assert a.weights.tobytes() == b.weights.tobytes()
+
+    @pytest.mark.parametrize("family", sorted(CANONICAL_FAMILY_PARAMS))
+    def test_different_seed_differs(self, family):
+        params = CANONICAL_FAMILY_PARAMS[family]
+        a = make_graph(family, **params, seed=17)
+        b = make_graph(family, **params, seed=18)
+        assert (
+            a.indptr.tobytes() != b.indptr.tobytes()
+            or a.indices.tobytes() != b.indices.tobytes()
+            or a.weights.tobytes() != b.weights.tobytes()
+        )
+
+    def test_canonical_params_cover_registry(self):
+        assert set(CANONICAL_FAMILY_PARAMS) == set(GENERATORS)
 
 
 class TestRegistry:

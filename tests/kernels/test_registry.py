@@ -6,7 +6,12 @@ import pytest
 
 from repro.errors import UnknownBenchmarkError
 from repro.features.profiles import BENCHMARK_PROFILES
-from repro.kernels import KERNELS, get_kernel, kernel_names
+from repro.kernels import (
+    KERNELS,
+    get_kernel,
+    kernel_names,
+    normalize_benchmark_name,
+)
 
 
 class TestRegistry:
@@ -27,6 +32,33 @@ class TestRegistry:
     def test_unknown(self):
         with pytest.raises(UnknownBenchmarkError):
             get_kernel("matmul")
+
+
+class TestNameNormalization:
+    @pytest.mark.parametrize(
+        ("alias", "canonical"),
+        [
+            ("PageRank-DP", "pagerank_dp"),
+            ("sssp delta", "sssp_delta"),
+            ("SSSP-BF", "sssp_bf"),
+            ("Triangle Counting", "triangle_counting"),
+            ("BFS", "bfs"),
+            ("Connected Components", "connected_components"),
+            ("PageRank-D.P.", "pagerank_dp"),
+        ],
+    )
+    def test_aliases_resolve(self, alias, canonical):
+        assert normalize_benchmark_name(alias) == canonical
+        assert get_kernel(alias).name == canonical
+
+    def test_normalization_is_idempotent(self):
+        for name in kernel_names():
+            assert normalize_benchmark_name(name) == name
+            assert normalize_benchmark_name(normalize_benchmark_name(name)) == name
+
+    def test_kernel_names_round_trip_through_get_kernel(self):
+        """Every advertised name instantiates a kernel that reports it."""
+        assert [get_kernel(name).name for name in kernel_names()] == kernel_names()
 
     @pytest.mark.parametrize("name", list(KERNELS))
     def test_every_kernel_runs_and_traces(self, name, random_graph):

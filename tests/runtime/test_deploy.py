@@ -61,6 +61,45 @@ class TestPrepareWorkload:
         assert first.profile.total_edges == second.profile.total_edges
 
 
+class TestTraceCacheVersioning:
+    def test_key_embeds_version(self, monkeypatch):
+        import repro.runtime.deploy as deploy
+
+        key = deploy.trace_cache_key("bfs", "cage14")
+        assert str(deploy._TRACE_VERSION) in key
+        monkeypatch.setattr(deploy, "_TRACE_VERSION", deploy._TRACE_VERSION + 1)
+        assert deploy.trace_cache_key("bfs", "cage14") != key
+
+    def test_version_bump_invalidates_stale_traces(self, monkeypatch, tmp_path):
+        """Bumping _TRACE_VERSION must force a kernel re-run; the same
+        version must keep reusing the cached trace."""
+        import repro.runtime.deploy as deploy
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        # A version no other test (or the in-memory cache) has used.
+        monkeypatch.setattr(deploy, "_TRACE_VERSION", 9001)
+
+        kernel_runs = []
+        real_get_kernel = deploy.get_kernel
+
+        def counting_get_kernel(name):
+            kernel_runs.append(name)
+            return real_get_kernel(name)
+
+        monkeypatch.setattr(deploy, "get_kernel", counting_get_kernel)
+
+        deploy._proxy_trace("dfs", "cage14")
+        deploy._proxy_trace("dfs", "cage14")
+        assert kernel_runs == ["dfs"]  # second call hit the cache
+
+        monkeypatch.setattr(deploy, "_TRACE_VERSION", 9002)
+        deploy._proxy_trace("dfs", "cage14")
+        assert kernel_runs == ["dfs", "dfs"]  # stale entry not reused
+
+        deploy._proxy_trace("dfs", "cage14")
+        assert kernel_runs == ["dfs", "dfs"]  # new version now cached
+
+
 class TestRunWorkload:
     def test_runs_on_both_accelerators(self):
         workload = prepare_workload("bfs", "cage14")

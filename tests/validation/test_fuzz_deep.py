@@ -1,0 +1,23 @@
+"""Deep fuzz tier — opt-in via the ``fuzz`` marker (``make fuzz-deep``).
+
+Excluded from the default pytest run by ``-m 'not fuzz'`` in pyproject;
+CI and local quick runs rely on the bounded quick tier instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validation.fuzz import fuzz
+
+pytestmark = pytest.mark.fuzz
+
+
+def test_deep_kernel_invariant_sweep():
+    completed = fuzz(["kernels"], 424242, budget_s=240.0, max_cases=2_000)
+    assert completed["kernels"] >= 500
+
+
+def test_deep_oracle_sweep():
+    completed = fuzz(["oracle"], 424243, budget_s=240.0, max_cases=1_000)
+    assert completed["oracle"] >= 200

@@ -1,0 +1,192 @@
+"""Tests for the kernel invariant registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.graph.generators import GENERATORS, make_graph
+from repro.kernels.registry import kernel_names
+from repro.validation.generators import (
+    CANONICAL_FAMILY_PARAMS,
+    GraphCase,
+    sample_family_params,
+    sample_graph_case,
+)
+from repro.validation.invariants import (
+    check_kernel_case,
+    invariants_for,
+    registered_benchmarks,
+    run_kernel_case,
+    sample_kernel_params,
+)
+
+
+class TestRegistryCoverage:
+    def test_every_kernel_has_specific_invariants(self):
+        """No kernel rides on the generic trace check alone."""
+        assert registered_benchmarks() == sorted(kernel_names())
+
+    def test_generic_invariants_apply_everywhere(self):
+        for benchmark in kernel_names():
+            names = [inv.name for inv in invariants_for(benchmark)]
+            assert "trace-structural-sanity" in names
+            assert len(names) >= 2
+
+    def test_invariants_are_named_and_bound(self):
+        for benchmark in kernel_names():
+            for inv in invariants_for(benchmark):
+                assert inv.name
+                assert inv.benchmark in ("*", benchmark)
+
+
+class TestGraphCaseSampling:
+    def test_sampler_covers_whole_generator_registry(self):
+        assert set(CANONICAL_FAMILY_PARAMS) == set(GENERATORS)
+        rng = np.random.default_rng(0)
+        for family in GENERATORS:
+            params = sample_family_params(family, rng)
+            graph = make_graph(family, **params)
+            assert graph.num_vertices >= 1
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            sample_family_params("hypercube", np.random.default_rng(0))
+
+    def test_sampled_case_reconstructible(self):
+        rng = np.random.default_rng(5)
+        case = sample_graph_case(rng)
+        rebuilt = make_graph(case.family, **case.params)
+        assert np.array_equal(rebuilt.indptr, case.graph.indptr)
+        assert np.array_equal(rebuilt.indices, case.graph.indices)
+        assert case.family in case.describe()
+
+
+class TestInvariantsHoldOnSeededCases:
+    # NB: the parametrize name must not be "benchmark" — that collides
+    # with the pytest-benchmark fixture and aborts the whole run.
+    @pytest.mark.parametrize("kernel_name", sorted(kernel_names()))
+    def test_kernel_passes_on_random_graphs(self, kernel_name):
+        rng = np.random.default_rng(hash(kernel_name) % 2**32)
+        for _ in range(3):
+            case = check_kernel_case(kernel_name, sample_graph_case(rng), rng)
+            assert case.benchmark == kernel_name
+
+    def test_run_kernel_case_deterministic(self):
+        assert run_kernel_case(421) == run_kernel_case(421)
+
+    def test_edgeless_graph_survives_all_kernels(self):
+        """Degenerate inputs are the classic invariant blind spot."""
+        rng = np.random.default_rng(2)
+        graph = make_graph("uniform", num_vertices=7, num_edges=0, seed=0)
+        graph_case = GraphCase(
+            family="uniform",
+            params={"num_vertices": 7, "num_edges": 0, "seed": 0},
+            graph=graph,
+        )
+        for benchmark in kernel_names():
+            check_kernel_case(benchmark, graph_case, rng)
+
+
+class TestInvariantsRejectWrongResults:
+    def _case(self, benchmark, seed=3):
+        rng = np.random.default_rng(seed)
+        graph_case = sample_graph_case(rng)
+        params = sample_kernel_params(benchmark, graph_case.graph, rng)
+        return graph_case, params, rng
+
+    def test_bfs_oracle_rejects_shifted_levels(self, monkeypatch):
+        from repro.kernels.base import KernelResult
+        from repro.kernels.bfs import BreadthFirstSearch
+
+        original = BreadthFirstSearch.run
+
+        def shifted(self, graph, **kwargs):
+            result = original(self, graph, **kwargs)
+            levels = np.asarray(result.output).copy()
+            levels[levels > 0] += 1  # off-by-one beyond the first hop
+            return KernelResult(levels, result.trace, result.stats)
+
+        monkeypatch.setattr(BreadthFirstSearch, "run", shifted)
+        rng = np.random.default_rng(8)
+        # A path graph guarantees a vertex at depth >= 1.
+        graph = make_graph("road", width=5, height=2, seed=1)
+        graph_case = GraphCase("road", {"width": 5, "height": 2, "seed": 1}, graph)
+        with pytest.raises(InvariantViolation, match="levels-match-reference"):
+            check_kernel_case("bfs", graph_case, rng, params={"source": 0})
+
+    def test_triangle_oracle_rejects_off_by_one(self, monkeypatch):
+        from repro.kernels.base import KernelResult
+        from repro.kernels.triangle_counting import TriangleCounting
+
+        original = TriangleCounting.run
+
+        def inflated(self, graph, **kwargs):
+            result = original(self, graph, **kwargs)
+            return KernelResult(int(result.output) + 1, result.trace, result.stats)
+
+        monkeypatch.setattr(TriangleCounting, "run", inflated)
+        graph_case, params, rng = self._case("triangle_counting")
+        with pytest.raises(InvariantViolation, match="dense-matrix-count"):
+            check_kernel_case("triangle_counting", graph_case, rng, params=params)
+
+    def test_pagerank_mass_rejects_leak(self, monkeypatch):
+        from repro.kernels.base import KernelResult
+        from repro.kernels.pagerank import PageRank
+
+        original = PageRank.run
+
+        def leaking(self, graph, **kwargs):
+            result = original(self, graph, **kwargs)
+            return KernelResult(
+                np.asarray(result.output) * 0.99, result.trace, result.stats
+            )
+
+        monkeypatch.setattr(PageRank, "run", leaking)
+        graph_case, params, rng = self._case("pagerank")
+        with pytest.raises(InvariantViolation, match="mass-conservation"):
+            check_kernel_case("pagerank", graph_case, rng, params=params)
+
+    def test_components_oracle_rejects_merged_labels(self, monkeypatch):
+        from repro.kernels.base import KernelResult
+        from repro.kernels.connected_components import ConnectedComponents
+
+        original = ConnectedComponents.run
+
+        def collapsed(self, graph, **kwargs):
+            result = original(self, graph, **kwargs)
+            return KernelResult(
+                np.zeros_like(np.asarray(result.output)),
+                result.trace,
+                result.stats,
+            )
+
+        monkeypatch.setattr(ConnectedComponents, "run", collapsed)
+        rng = np.random.default_rng(10)
+        # Two obviously separate components.
+        graph = make_graph("uniform", num_vertices=12, num_edges=0, seed=0)
+        graph_case = GraphCase(
+            "uniform", {"num_vertices": 12, "num_edges": 0, "seed": 0}, graph
+        )
+        with pytest.raises(InvariantViolation, match="partition-validity"):
+            check_kernel_case("connected_components", graph_case, rng)
+
+    def test_sssp_oracle_rejects_scaled_distances(self, monkeypatch):
+        from repro.kernels.base import KernelResult
+        from repro.kernels.sssp_bf import SsspBellmanFord
+
+        original = SsspBellmanFord.run
+
+        def scaled(self, graph, **kwargs):
+            result = original(self, graph, **kwargs)
+            return KernelResult(
+                np.asarray(result.output) * 1.5, result.trace, result.stats
+            )
+
+        monkeypatch.setattr(SsspBellmanFord, "run", scaled)
+        rng = np.random.default_rng(11)
+        graph = make_graph("road", width=4, height=4, seed=2)
+        graph_case = GraphCase("road", {"width": 4, "height": 4, "seed": 2}, graph)
+        with pytest.raises(InvariantViolation, match="distances-match-reference"):
+            check_kernel_case("sssp_bf", graph_case, rng, params={"source": 0})

@@ -1,0 +1,87 @@
+"""Tests for the differential batch/scalar cost-model oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel.batch import ConfigTable
+from repro.machine.mvars import clamp_config
+from repro.machine.specs import ACCELERATORS, get_accelerator
+from repro.validation.oracle import (
+    check_argmin_equivalence,
+    check_batch_equivalence,
+    check_exhaustive_against_scalar,
+    random_config,
+    random_config_table,
+    random_profile,
+    run_oracle_case,
+)
+
+ALL_SPECS = tuple(ACCELERATORS.values())
+
+
+class TestRandomSampling:
+    def test_random_profile_deterministic(self):
+        a = random_profile(np.random.default_rng(3))
+        b = random_profile(np.random.default_rng(3))
+        assert a == b
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_random_configs_are_clampable(self, spec):
+        """Off-lattice draws may exceed the maxima; clamping must absorb
+        them (the ceiling rule is part of the fuzzed contract)."""
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            config = random_config(spec, rng)
+            clamped = clamp_config(config, spec)
+            assert clamped.cores <= spec.cores
+            assert clamped.gpu_global_threads <= spec.max_threads
+
+    def test_table_mixes_lattice_and_random_rows(self):
+        spec = get_accelerator("xeonphi7120p")
+        table = random_config_table(spec, np.random.default_rng(5), 24)
+        assert len(table) >= 24
+
+
+class TestDifferentialChecks:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_batch_matches_scalar_on_random_tables(self, spec):
+        rng = np.random.default_rng(6)
+        profile = random_profile(rng)
+        table = random_config_table(spec, rng, 16)
+        check_batch_equivalence(profile, spec, table)
+
+    @pytest.mark.parametrize("metric", ["time", "energy", "edp"])
+    def test_argmin_matches_brute_force(self, metric):
+        rng = np.random.default_rng(7)
+        profile = random_profile(rng)
+        spec = get_accelerator("cpu40core")
+        table = random_config_table(spec, rng, 16)
+        check_argmin_equivalence(profile, spec, table, metric)
+
+    def test_exhaustive_oracle_full_gpu_lattice(self):
+        """tuning.exhaustive vs a full scalar lattice sweep (GPU lattices
+        are small enough to brute-force in-test)."""
+        rng = np.random.default_rng(8)
+        profile = random_profile(rng)
+        for name in ("gtx750ti", "gtx970"):
+            check_exhaustive_against_scalar(profile, get_accelerator(name))
+
+    def test_run_oracle_case_deterministic(self):
+        assert run_oracle_case(11) == run_oracle_case(11)
+
+    def test_seeded_sweep_of_cases(self):
+        """A small always-on slice of the quick fuzz tier."""
+        for seed in range(112, 118):
+            description = run_oracle_case(seed)
+            assert "configs" in description
+
+
+class TestTableValidation:
+    def test_from_configs_preserves_row_count(self):
+        spec = get_accelerator("gtx750ti")
+        rng = np.random.default_rng(9)
+        configs = [random_config(spec, rng) for _ in range(7)]
+        table = ConfigTable.from_configs(spec, configs)
+        assert len(table) == 7

@@ -1,0 +1,84 @@
+"""Tests for the fuzz seed-derivation and replay contract."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.validation.seeds import (
+    SEED_ENV_VAR,
+    FuzzFailure,
+    derive_seed,
+    iterate_case_seeds,
+    master_seed_from_env,
+    replay_command,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "kernels", 3) == derive_seed(42, "kernels", 3)
+
+    def test_distinct_parts_distinct_seeds(self):
+        seeds = {
+            derive_seed(42, component, index)
+            for component in ("kernels", "oracle")
+            for index in range(50)
+        }
+        assert len(seeds) == 100
+
+    def test_63_bit_range(self):
+        for index in range(20):
+            seed = derive_seed(7, "x", index)
+            assert 0 <= seed < 2**63
+
+
+class TestCaseSeedSequence:
+    def test_first_seed_is_master(self):
+        """The replay contract: --cases 1 with the failing seed re-runs it."""
+        assert next(iterate_case_seeds(987654, "oracle")) == 987654
+
+    def test_sequence_deterministic(self):
+        a = list(itertools.islice(iterate_case_seeds(5, "kernels"), 10))
+        b = list(itertools.islice(iterate_case_seeds(5, "kernels"), 10))
+        assert a == b
+
+    def test_components_diverge_after_first(self):
+        a = list(itertools.islice(iterate_case_seeds(5, "kernels"), 5))
+        b = list(itertools.islice(iterate_case_seeds(5, "oracle"), 5))
+        assert a[0] == b[0]
+        assert a[1:] != b[1:]
+
+
+class TestEnvSeed:
+    def test_env_var_wins(self, monkeypatch):
+        monkeypatch.setenv(SEED_ENV_VAR, "1234")
+        assert master_seed_from_env() == 1234
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(SEED_ENV_VAR, raising=False)
+        assert master_seed_from_env(default=9) == 9
+
+    def test_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv(SEED_ENV_VAR, "not-a-seed")
+        with pytest.raises(ValidationError):
+            master_seed_from_env()
+
+
+class TestFailureMessages:
+    def test_replay_command_shape(self):
+        cmd = replay_command("oracle", 77)
+        assert cmd.startswith(f"{SEED_ENV_VAR}=77 ")
+        assert "--component oracle" in cmd
+        assert "--cases 1" in cmd
+
+    def test_fuzz_failure_embeds_replay(self):
+        failure = FuzzFailure("kernels", 31337, "boom")
+        text = str(failure)
+        assert f"{SEED_ENV_VAR}=31337" in text
+        assert "--component kernels --cases 1" in text
+        assert "boom" in text
+        assert failure.case_seed == 31337
+        assert failure.component == "kernels"
