@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-force fuzz fuzz-deep
+.PHONY: test bench bench-force fuzz fuzz-deep obs-report
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,3 +22,9 @@ bench:
 
 bench-force:
 	$(PYTHON) benchmarks/bench_sweep.py --force
+
+# Summarize the REPRO_OBS=jsonl event stream (repro_obs.jsonl by default):
+# top spans, trace-cache hit ratios, and the predictor decision-audit table.
+# Override the stream with OBS_STREAM=<path>.
+obs-report:
+	$(PYTHON) -m repro.obs.report $(OBS_STREAM)

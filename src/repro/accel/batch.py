@@ -48,6 +48,7 @@ from repro.accel.cost_model import (
     _divergence_divisor,
     _streaming_cost,
 )
+from repro import obs
 from repro.accel.energy import EnergyResult
 from repro.accel.simulator import SimulationResult
 from repro.errors import SimulationError
@@ -512,6 +513,12 @@ def batch_evaluate(
         overhead[p] = o
         busy = busy + phase_busy
         stall = stall + phase_stall
+
+    if obs.enabled():
+        # One bump per batch pass: the "batch path taken" signal, plus the
+        # config volume it covered (vs cost_model.evals{path="scalar"}).
+        obs.counter("cost_model.evals", path="batch")
+        obs.counter("cost_model.configs", n, path="batch")
 
     streaming_s = _streaming_cost(spec, profile)
     totals = np.maximum(compute, memory) + sync + overhead

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.accel.cost_model import WorkloadCost, evaluate_cost
 from repro.accel.energy import EnergyResult, evaluate_energy
 from repro.errors import SimulationError
@@ -72,6 +73,9 @@ def simulate(
     The configuration is clamped to the machine's maxima first (the
     paper's ceiling rule), so callers may pass equation outputs directly.
     """
+    if obs.enabled():
+        obs.counter("cost_model.evals", path="scalar")
+        obs.counter("cost_model.configs", path="scalar")
     config = clamp_config(config, spec)
     cost = evaluate_cost(profile, spec, config)
     energy = evaluate_energy(cost, spec, config)

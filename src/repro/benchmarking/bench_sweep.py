@@ -21,10 +21,10 @@ from __future__ import annotations
 
 import argparse
 import json
-import sys
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.accel.batch import batch_evaluate, lattice_table
 from repro.accel.simulator import simulate
 from repro.core.training import build_training_database
@@ -224,30 +224,42 @@ def main(argv: list[str] | None = None) -> int:
         "--force", action="store_true",
         help="overwrite the baseline even on a >25%% regression",
     )
-    args = parser.parse_args(argv)
-
-    payload = run_bench(
-        accelerator=args.accelerator,
-        pair=(args.pair[0], args.pair[1]),
-        num_samples=args.samples,
-        workers=args.workers,
-        repeats=args.repeats,
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress informational output (errors still print)",
     )
+    args = parser.parse_args(argv)
+    if args.quiet:
+        obs.set_quiet(True)
+    log = obs.get_logger("bench")
+
+    with obs.span("bench.sweep", accelerator=args.accelerator):
+        payload = run_bench(
+            accelerator=args.accelerator,
+            pair=(args.pair[0], args.pair[1]),
+            num_samples=args.samples,
+            workers=args.workers,
+            repeats=args.repeats,
+        )
 
     sweep = payload["lattice_sweep"]
     db = payload["db_build"]
-    print(
-        f"lattice sweep [{sweep['accelerator']}] "
-        f"{sweep['lattice_points']} configs: "
-        f"scalar {sweep['scalar_configs_per_sec']:.0f} cfg/s, "
-        f"batch {sweep['batch_configs_per_sec']:.0f} cfg/s "
-        f"({sweep['speedup']:.1f}x)"
+    log.info(
+        "lattice_sweep",
+        accelerator=sweep["accelerator"],
+        configs=sweep["lattice_points"],
+        scalar_cfg_per_s=round(sweep["scalar_configs_per_sec"]),
+        batch_cfg_per_s=round(sweep["batch_configs_per_sec"]),
+        speedup=round(sweep["speedup"], 1),
     )
-    print(
-        f"db build [{db['pair'][0]}+{db['pair'][1]}] {db['num_samples']} samples: "
-        f"serial {db['serial_s_per_sample'] * 1e3:.1f} ms/sample, "
-        f"{db['workers']} workers {db['parallel_s_per_sample'] * 1e3:.1f} ms/sample "
-        f"({db['parallel_speedup']:.1f}x)"
+    log.info(
+        "db_build",
+        pair=f"{db['pair'][0]}+{db['pair'][1]}",
+        samples=db["num_samples"],
+        serial_ms_per_sample=round(db["serial_s_per_sample"] * 1e3, 1),
+        workers=db["workers"],
+        parallel_ms_per_sample=round(db["parallel_s_per_sample"] * 1e3, 1),
+        parallel_speedup=round(db["parallel_speedup"], 1),
     )
 
     output = Path(args.output)
@@ -258,16 +270,16 @@ def main(argv: list[str] | None = None) -> int:
             old = {}  # corrupt baseline: treat as absent
         regressions = check_regressions(old, payload)
         if regressions and not args.force:
-            print(
-                f"REFUSING to overwrite {output}: throughput regressed "
-                f">{REGRESSION_TOLERANCE:.0%} (pass --force to record anyway)",
-                file=sys.stderr,
+            log.error(
+                "refusing_overwrite",
+                baseline=str(output),
+                tolerance=f">{REGRESSION_TOLERANCE:.0%}",
+                hint="pass --force to record anyway",
+                regressions="; ".join(regressions),
             )
-            for line in regressions:
-                print(f"  {line}", file=sys.stderr)
             return 2
     atomic_write_text(output, json.dumps(payload, indent=2) + "\n")
-    print(f"recorded {output}")
+    log.info("recorded", path=str(output))
     return 0
 
 

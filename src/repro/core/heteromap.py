@@ -19,8 +19,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.accel.simulator import SimulationResult
 from repro.core.database import TrainingDatabase
+from repro.core.encoding import decode_config, encode_features
 from repro.core.overhead import measure_overhead_ms
 from repro.core.predictors import LearnedPredictor, make_predictor
 from repro.core.training import build_training_database
@@ -123,18 +125,26 @@ class HeteroMap:
         A pre-built ``database`` (e.g. shared across learners in the
         Table IV experiment) skips the auto-tuning sweep.
         """
-        if database is None:
-            database = build_training_database(
-                self.gpu,
-                self.multicore,
-                num_samples=num_samples,
-                metric=self.metric,
-                seed=self.seed if seed is None else seed,
-            )
-        self.database = database
-        if isinstance(self.predictor, LearnedPredictor):
-            self.predictor.fit(*database.matrices())
-        self._overhead_ms = measure_overhead_ms(self.predictor)
+        with obs.span(
+            "heteromap.train",
+            predictor=self.predictor_name,
+            num_samples=num_samples,
+            prebuilt=database is not None,
+        ):
+            if database is None:
+                database = build_training_database(
+                    self.gpu,
+                    self.multicore,
+                    num_samples=num_samples,
+                    metric=self.metric,
+                    seed=self.seed if seed is None else seed,
+                )
+            self.database = database
+            if isinstance(self.predictor, LearnedPredictor):
+                with obs.span("heteromap.fit", predictor=self.predictor_name):
+                    self.predictor.fit(*database.matrices())
+            self._overhead_ms = measure_overhead_ms(self.predictor)
+            obs.gauge("heteromap.overhead_ms", self._overhead_ms)
         return database
 
     @property
@@ -162,11 +172,25 @@ class HeteroMap:
         return self.run_workload(workload)
 
     def run_workload(self, workload: Workload) -> RunOutcome:
-        """Schedule and execute a prepared workload."""
+        """Schedule and execute a prepared workload.
+
+        With observability enabled, every call also emits a
+        :class:`repro.obs.DecisionRecord`: the (B, I) inputs, the chosen
+        deployment, its predicted time/energy/utilization, and the margin
+        over the runner-up accelerator (see :meth:`_audit_decision`).
+        """
         if self._overhead_ms is None:
             raise NotTrainedError("call train() before run()")
-        spec, config = self.predict(workload)
-        result = run_workload(workload, spec, config)
+        with obs.span(
+            "heteromap.run_workload",
+            benchmark=workload.benchmark,
+            dataset=workload.dataset,
+        ) as span:
+            spec, config = self.predict(workload)
+            result = run_workload(workload, spec, config)
+            span.set(chosen=spec.name)
+            if obs.enabled():
+                self._audit_decision(workload, spec, config, result)
         return RunOutcome(
             benchmark=workload.benchmark,
             dataset=workload.dataset,
@@ -174,6 +198,44 @@ class HeteroMap:
             config=config,
             result=result,
             predictor_overhead_ms=self._overhead_ms,
+        )
+
+    def _audit_decision(
+        self,
+        workload: Workload,
+        spec: AcceleratorSpec,
+        config: MachineConfig,
+        result: SimulationResult,
+    ) -> None:
+        """Emit the decision-audit record for one scheduled execution.
+
+        The runner-up deployment is the *same* predicted knob vector with
+        the accelerator bit (M1) flipped and decoded onto the other
+        device — i.e. what the predictor would have deployed had it made
+        the opposite inter-accelerator call — costed under the same
+        model.  A positive margin means the scheduler picked the faster
+        side of its own prediction.
+        """
+        features = encode_features(workload.bvars, workload.ivars)
+        vector = self.predictor.predict_vector(features).copy()
+        vector[0] = 0.0 if vector[0] >= 0.5 else 1.0
+        other_spec, other_config = decode_config(vector, self.gpu, self.multicore)
+        other = run_workload(workload, other_spec, other_config)
+        obs.record_decision(
+            obs.DecisionRecord(
+                benchmark=workload.benchmark,
+                dataset=workload.dataset,
+                predictor=self.predictor_name,
+                metric=self.metric,
+                features=tuple(float(f) for f in features),
+                chosen_accelerator=spec.name,
+                config=obs.config_summary(config, is_gpu=spec.is_gpu),
+                predicted_time_ms=result.time_ms,
+                predicted_energy_j=result.energy_j,
+                predicted_utilization=result.utilization,
+                runner_up_accelerator=other_spec.name,
+                runner_up_time_ms=other.time_ms,
+            )
         )
 
     # -- baselines ----------------------------------------------------------

@@ -16,6 +16,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro import obs
 from repro.core.database import TrainingDatabase
 from repro.core.encoding import encode_config, encode_features
 from repro.machine.specs import AcceleratorSpec
@@ -83,18 +84,28 @@ def build_training_database(
             are collected in sample order, so any worker count produces a
             byte-identical database for the same seed.
     """
-    database = TrainingDatabase(pair=(gpu.name, multicore.name), metric=metric)
-    samples = generate_samples(num_samples, seed=seed)
-    if workers > 1 and len(samples) > 1:
-        tasks = [(sample, gpu, multicore, metric) for sample in samples]
-        chunksize = max(1, len(tasks) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            rows = list(pool.map(_label_sample_task, tasks, chunksize=chunksize))
-    else:
-        rows = [
-            label_sample(sample, gpu, multicore, metric=metric)
-            for sample in samples
-        ]
-    for features, target, best in rows:
-        database.add(features, target, best)
-    return database
+    with obs.span(
+        "training.build_database",
+        pair=f"{gpu.name}+{multicore.name}",
+        num_samples=num_samples,
+        workers=workers,
+        metric=metric,
+    ):
+        database = TrainingDatabase(pair=(gpu.name, multicore.name), metric=metric)
+        samples = generate_samples(num_samples, seed=seed)
+        if workers > 1 and len(samples) > 1:
+            tasks = [(sample, gpu, multicore, metric) for sample in samples]
+            chunksize = max(1, len(tasks) // (workers * 4))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                rows = list(
+                    pool.map(_label_sample_task, tasks, chunksize=chunksize)
+                )
+        else:
+            rows = [
+                label_sample(sample, gpu, multicore, metric=metric)
+                for sample in samples
+            ]
+        for features, target, best in rows:
+            database.add(features, target, best)
+        obs.counter("training.samples_labeled", len(rows))
+        return database

@@ -57,6 +57,10 @@ class SimulationError(ReproError):
     """Raised when the accelerator simulator receives an invalid workload."""
 
 
+class ObservabilityError(ReproError):
+    """Raised for invalid observability configuration (``REPRO_OBS``)."""
+
+
 class ValidationError(ReproError):
     """Raised by the property-based validation subsystem."""
 

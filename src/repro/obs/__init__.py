@@ -1,0 +1,83 @@
+"""`repro.obs` — structured tracing, metrics, and decision auditing.
+
+A dependency-free observability layer threaded through the runtime's hot
+paths.  Four pieces:
+
+1. **Span tracer** — ``with obs.span("tuning.sweep", accelerator=...):``
+   produces nested wall-clock spans with attributes.
+2. **Metrics registry** — counters, gauges, and histograms
+   (``obs.counter("trace_cache.hit")``), exportable as a
+   Prometheus-style text snapshot.
+3. **Decision-audit log** — every ``HeteroMap.run_workload`` emits a
+   structured record of the (B, I) inputs, chosen M-configuration,
+   predicted time/energy/utilization, and the margin over the runner-up
+   accelerator.
+4. **Exporters** — a JSONL event stream plus ``python -m repro.obs.report``
+   which renders a per-run summary (top spans, cache ratios, the
+   decision table).
+
+Everything is gated on ``REPRO_OBS`` (``0`` | ``1`` | ``jsonl[:path]``)
+with a no-op fast path: disabled, every entry point is one branch and no
+allocations, so instrumentation is free on the bench-gated hot paths.
+"""
+
+from __future__ import annotations
+
+from repro.obs.audit import DECISION_FIELDS, DecisionRecord, config_summary
+from repro.obs.config import (
+    DEFAULT_JSONL_PATH,
+    ENV_VAR,
+    PROM_ENV_VAR,
+    ObsConfig,
+    config_from_env,
+)
+from repro.obs.state import (
+    ObsState,
+    configure,
+    counter,
+    enabled,
+    flush,
+    gauge,
+    histogram,
+    prometheus_text,
+    quiet,
+    record_decision,
+    reset,
+    set_quiet,
+    span,
+    state,
+)
+from repro.obs.logger import StructuredLogger, get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NOOP_SPAN, SpanRecord, Tracer
+
+__all__ = [
+    "DECISION_FIELDS",
+    "DecisionRecord",
+    "config_summary",
+    "DEFAULT_JSONL_PATH",
+    "ENV_VAR",
+    "PROM_ENV_VAR",
+    "ObsConfig",
+    "ObsState",
+    "config_from_env",
+    "configure",
+    "counter",
+    "enabled",
+    "flush",
+    "gauge",
+    "get_logger",
+    "histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "prometheus_text",
+    "quiet",
+    "record_decision",
+    "reset",
+    "set_quiet",
+    "span",
+    "SpanRecord",
+    "state",
+    "StructuredLogger",
+    "Tracer",
+]

@@ -1,0 +1,102 @@
+"""Decision-audit records: why the predictor deployed where it did.
+
+Every scheduled execution (``HeteroMap.run_workload``) emits one
+:class:`DecisionRecord` when observability is on: the (B, I) feature
+inputs, the chosen accelerator and M-configuration, the model-predicted
+time/energy/utilization of that deployment, and the margin over the
+runner-up accelerator (the same predicted knob vector decoded onto the
+*other* device).  This is the artifact a scheduler run (Figure 11) needs
+to be debugged: a near-zero margin flags a coin-flip decision, a large
+negative margin flags a mispredict.
+
+The schema is frozen in :data:`DECISION_FIELDS`; the audit tests pin
+``as_dict`` to it so downstream consumers (the report CLI, external
+dashboards) can rely on the record shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.mvars import MachineConfig
+
+__all__ = ["DECISION_FIELDS", "DecisionRecord", "config_summary"]
+
+#: Frozen schema of :meth:`DecisionRecord.as_dict`.
+DECISION_FIELDS = (
+    "benchmark",
+    "dataset",
+    "predictor",
+    "metric",
+    "features",
+    "chosen_accelerator",
+    "config",
+    "predicted_time_ms",
+    "predicted_energy_j",
+    "predicted_utilization",
+    "runner_up_accelerator",
+    "runner_up_time_ms",
+    "margin_ms",
+    "margin_pct",
+)
+
+
+def config_summary(config: MachineConfig, *, is_gpu: bool) -> str:
+    """Compact one-cell rendering of the deployed M-configuration."""
+    if is_gpu:
+        return (
+            f"gpu(g={config.gpu_global_threads},l={config.gpu_local_threads})"
+        )
+    return (
+        f"mc(c={config.cores},tpc={config.threads_per_core},"
+        f"simd={config.simd_width},sched={config.omp_schedule.value},"
+        f"chunk={config.omp_chunk})"
+    )
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One audited scheduling decision."""
+
+    benchmark: str
+    dataset: str
+    predictor: str
+    metric: str
+    features: tuple[float, ...]  # the 17 (B, I) inputs, B1..B13 then I1..I4
+    chosen_accelerator: str
+    config: str  # config_summary() of the deployed M-configuration
+    predicted_time_ms: float
+    predicted_energy_j: float
+    predicted_utilization: float
+    runner_up_accelerator: str
+    runner_up_time_ms: float
+
+    @property
+    def margin_ms(self) -> float:
+        """Runner-up minus chosen predicted time; positive = right call."""
+        return self.runner_up_time_ms - self.predicted_time_ms
+
+    @property
+    def margin_pct(self) -> float:
+        """Margin as a fraction of the chosen predicted time, in percent."""
+        if self.predicted_time_ms <= 0:
+            return 0.0
+        return 100.0 * self.margin_ms / self.predicted_time_ms
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "dataset": self.dataset,
+            "predictor": self.predictor,
+            "metric": self.metric,
+            "features": [round(float(f), 6) for f in self.features],
+            "chosen_accelerator": self.chosen_accelerator,
+            "config": self.config,
+            "predicted_time_ms": self.predicted_time_ms,
+            "predicted_energy_j": self.predicted_energy_j,
+            "predicted_utilization": self.predicted_utilization,
+            "runner_up_accelerator": self.runner_up_accelerator,
+            "runner_up_time_ms": self.runner_up_time_ms,
+            "margin_ms": self.margin_ms,
+            "margin_pct": self.margin_pct,
+        }

@@ -1,0 +1,77 @@
+"""Environment-driven configuration for the observability layer.
+
+The whole subsystem is gated on one variable:
+
+* ``REPRO_OBS`` unset / ``0`` / ``false`` / ``off`` — disabled (the
+  default).  Every ``repro.obs`` entry point short-circuits to a no-op;
+  the disabled overhead must stay unmeasurable on the bench-gated hot
+  paths.
+* ``REPRO_OBS=1`` / ``true`` / ``on`` — enabled, in-memory only: spans,
+  metrics, and decision records accumulate in the process and can be
+  inspected programmatically or via :func:`repro.obs.prometheus_text`.
+* ``REPRO_OBS=jsonl`` — enabled, plus every event (span, decision, log,
+  exit-time metrics snapshot) is appended to ``repro_obs.jsonl`` in the
+  working directory.
+* ``REPRO_OBS=jsonl:<path>`` — same, with an explicit stream path.
+
+``REPRO_OBS_PROM=<path>`` additionally writes a Prometheus-style text
+snapshot of the metrics registry at process exit.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+
+__all__ = ["ENV_VAR", "PROM_ENV_VAR", "DEFAULT_JSONL_PATH", "ObsConfig", "config_from_env"]
+
+ENV_VAR = "REPRO_OBS"
+PROM_ENV_VAR = "REPRO_OBS_PROM"
+DEFAULT_JSONL_PATH = "repro_obs.jsonl"
+
+_OFF_VALUES = {"", "0", "false", "off", "no"}
+_ON_VALUES = {"1", "true", "on", "yes"}
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Resolved observability settings for one process."""
+
+    enabled: bool = False
+    jsonl_path: Path | None = None
+    prom_path: Path | None = None
+    quiet: bool = False
+
+
+def config_from_env(environ: dict[str, str] | None = None) -> ObsConfig:
+    """Parse ``REPRO_OBS`` (and ``REPRO_OBS_PROM``) into an :class:`ObsConfig`.
+
+    Raises:
+        ObservabilityError: for an unrecognized ``REPRO_OBS`` value —
+            a typo silently disabling telemetry is worse than a crash.
+    """
+    env = os.environ if environ is None else environ
+    raw = env.get(ENV_VAR, "").strip().lower()
+    prom = env.get(PROM_ENV_VAR, "").strip()
+    prom_path = Path(prom) if prom else None
+
+    if raw in _OFF_VALUES:
+        return ObsConfig(enabled=False, prom_path=prom_path)
+    if raw in _ON_VALUES:
+        return ObsConfig(enabled=True, prom_path=prom_path)
+    if raw == "jsonl":
+        return ObsConfig(
+            enabled=True, jsonl_path=Path(DEFAULT_JSONL_PATH), prom_path=prom_path
+        )
+    if raw.startswith("jsonl:"):
+        path = env.get(ENV_VAR, "").strip()[len("jsonl:"):]
+        if not path:
+            raise ObservabilityError(f"{ENV_VAR}=jsonl: is missing a path")
+        return ObsConfig(enabled=True, jsonl_path=Path(path), prom_path=prom_path)
+    raise ObservabilityError(
+        f"unrecognized {ENV_VAR}={env.get(ENV_VAR)!r}; "
+        "expected 0, 1, jsonl, or jsonl:<path>"
+    )

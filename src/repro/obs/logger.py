@@ -1,0 +1,74 @@
+"""Structured logging: key=value lines for humans, JSONL when enabled.
+
+The CLIs (bench sweep, fuzz driver) and anomaly paths (trace-cache
+corruption) log through here instead of ad-hoc ``print()``:
+
+* humans get a one-line ``[component] event key=value ...`` on stderr
+  (suppressed for ``info`` level by ``--quiet`` / :func:`repro.obs.set_quiet`;
+  warnings and errors always print),
+* when observability is enabled with a JSONL sink, the same record is
+  appended to the event stream as ``{"kind": "log", ...}`` regardless of
+  quiet mode — quiet silences the terminal, not the telemetry.
+
+Logging works with observability *disabled* too: the stderr half has no
+dependency on ``REPRO_OBS``, so the CLIs keep their human output by
+default.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.state import state as _live_state
+
+__all__ = ["StructuredLogger", "get_logger"]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    return f'"{text}"' if " " in text else text
+
+
+class StructuredLogger:
+    """A component-scoped structured logger."""
+
+    def __init__(self, component: str) -> None:
+        self.component = component
+
+    def _log(self, level: str, event: str, fields: dict[str, object]) -> None:
+        obs = _live_state()
+        if obs.enabled and obs.sink is not None:
+            obs.sink.emit(
+                "log",
+                {
+                    "level": level,
+                    "component": self.component,
+                    "event": event,
+                    **fields,
+                },
+            )
+        if obs.config.quiet and level == "info":
+            return
+        rendered = " ".join(
+            f"{key}={_format_value(value)}" for key, value in fields.items()
+        )
+        prefix = "" if level == "info" else f"{level.upper()}: "
+        line = f"[{self.component}] {prefix}{event}"
+        if rendered:
+            line += f" {rendered}"
+        print(line, file=sys.stderr)
+
+    def info(self, event: str, **fields: object) -> None:
+        self._log("info", event, fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self._log("warning", event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self._log("error", event, fields)
+
+
+def get_logger(component: str) -> StructuredLogger:
+    return StructuredLogger(component)

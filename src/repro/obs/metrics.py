@@ -1,0 +1,209 @@
+"""Counters, gauges, and histograms with Prometheus-style export.
+
+A deliberately small metrics model:
+
+* **counters** only go up (``cache.hit``, ``tuning.configs_evaluated``),
+* **gauges** hold the last written value (``db.samples``),
+* **histograms** bucket observations against fixed bounds and track
+  sum/count (``deploy.simulated_time_ms``).
+
+Labels are keyword arguments; each distinct label set is its own series.
+Export targets: a JSON-able dict (for the JSONL exit snapshot and the
+report CLI, which also merges snapshots from multiple processes) and a
+Prometheus text snapshot (``repro_<name>{label="v"} value``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["DEFAULT_BUCKETS", "Histogram", "MetricsRegistry"]
+
+# Generic log-spaced bounds: wide enough for counts, milliseconds, and
+# seconds alike without per-metric tuning.
+DEFAULT_BUCKETS = (
+    0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0
+)
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _labels_key(labels: dict[str, object]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Histogram:
+    """Fixed-bound bucket histogram (cumulative counts on export)."""
+
+    bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)  # +inf bucket
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def cumulative(self) -> list[int]:
+        out, running = [], 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: dict[str, dict[LabelSet, float]] = {}
+        self.gauges: dict[str, dict[LabelSet, float]] = {}
+        self.histograms: dict[str, dict[LabelSet, Histogram]] = {}
+
+    # -- writes -----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        key = _labels_key(labels)
+        with self._lock:
+            series = self.counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        with self._lock:
+            self.gauges.setdefault(name, {})[_labels_key(labels)] = value
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        key = _labels_key(labels)
+        with self._lock:
+            series = self.histograms.setdefault(name, {})
+            histogram = series.get(key)
+            if histogram is None:
+                histogram = series[key] = Histogram()
+            histogram.observe(value)
+
+    # -- reads ------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Current value of one counter series (0.0 when never bumped)."""
+        return self.counters.get(name, {}).get(_labels_key(labels), 0.0)
+
+    def as_dict(self) -> dict:
+        """JSON-able snapshot of every series."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: [
+                        {"labels": dict(key), "value": value}
+                        for key, value in sorted(series.items())
+                    ]
+                    for name, series in sorted(self.counters.items())
+                },
+                "gauges": {
+                    name: [
+                        {"labels": dict(key), "value": value}
+                        for key, value in sorted(series.items())
+                    ]
+                    for name, series in sorted(self.gauges.items())
+                },
+                "histograms": {
+                    name: [
+                        {"labels": dict(key), **histogram.as_dict()}
+                        for key, histogram in sorted(series.items())
+                    ]
+                    for name, series in sorted(self.histograms.items())
+                },
+            }
+
+    def merge_dict(self, payload: dict) -> None:
+        """Fold an :meth:`as_dict` snapshot (e.g. from another process) in.
+
+        Counters and histogram contents add; gauges take the incoming
+        value (last writer wins, matching gauge semantics).
+        """
+        for name, entries in payload.get("counters", {}).items():
+            for entry in entries:
+                self.inc(name, float(entry["value"]), **entry.get("labels", {}))
+        for name, entries in payload.get("gauges", {}).items():
+            for entry in entries:
+                self.set_gauge(name, float(entry["value"]), **entry.get("labels", {}))
+        for name, entries in payload.get("histograms", {}).items():
+            for entry in entries:
+                key = _labels_key(entry.get("labels", {}))
+                with self._lock:
+                    series = self.histograms.setdefault(name, {})
+                    histogram = series.get(key)
+                    if histogram is None:
+                        histogram = series[key] = Histogram(
+                            bounds=tuple(entry["bounds"])
+                        )
+                for bucket, count in enumerate(entry["counts"]):
+                    histogram.counts[bucket] += int(count)
+                histogram.total += float(entry["sum"])
+                histogram.count += int(entry["count"])
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus exposition-format text snapshot."""
+        lines: list[str] = []
+        snapshot = self.as_dict()
+
+        def metric_name(name: str) -> str:
+            return f"{prefix}_{name}".replace(".", "_").replace("-", "_")
+
+        def label_text(labels: dict[str, str], extra: str = "") -> str:
+            parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+            if extra:
+                parts.append(extra)
+            return "{" + ",".join(parts) + "}" if parts else ""
+
+        for name, entries in snapshot["counters"].items():
+            lines.append(f"# TYPE {metric_name(name)} counter")
+            for entry in entries:
+                lines.append(
+                    f"{metric_name(name)}{label_text(entry['labels'])} "
+                    f"{entry['value']:g}"
+                )
+        for name, entries in snapshot["gauges"].items():
+            lines.append(f"# TYPE {metric_name(name)} gauge")
+            for entry in entries:
+                lines.append(
+                    f"{metric_name(name)}{label_text(entry['labels'])} "
+                    f"{entry['value']:g}"
+                )
+        for name, entries in snapshot["histograms"].items():
+            base = metric_name(name)
+            lines.append(f"# TYPE {base} histogram")
+            for entry in entries:
+                histogram = Histogram(bounds=tuple(entry["bounds"]))
+                histogram.counts = list(entry["counts"])
+                cumulative = histogram.cumulative()
+                for bound, count in zip(entry["bounds"], cumulative):
+                    le = f'le="{bound:g}"'
+                    lines.append(
+                        f"{base}_bucket{label_text(entry['labels'], le)} {count}"
+                    )
+                inf_label = label_text(entry["labels"], 'le="+Inf"')
+                lines.append(f"{base}_bucket{inf_label} {cumulative[-1]}")
+                lines.append(
+                    f"{base}_sum{label_text(entry['labels'])} {entry['sum']:g}"
+                )
+                lines.append(
+                    f"{base}_count{label_text(entry['labels'])} {entry['count']}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,217 @@
+"""Per-run observability report: ``python -m repro.obs.report [stream]``.
+
+Reads a JSONL event stream produced by a ``REPRO_OBS=jsonl[:path]`` run
+(tests, the fuzz driver, a Figure 11 scheduler run, ...) and renders:
+
+* an event census (spans / decisions / logs / metrics snapshots, pids),
+* the top spans by total wall-clock time,
+* trace-cache hit / miss / corruption ratios,
+* the predictor decision-audit table — one row per scheduled workload:
+  chosen accelerator, M-configuration, predicted time, and the margin
+  over the runner-up accelerator,
+* the merged counter registry (summed across processes).
+
+``--prometheus`` instead emits the merged metrics as a Prometheus-style
+text snapshot.  Also installed as the ``repro-obs-report`` console
+script and wired to ``make obs-report``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs.config import DEFAULT_JSONL_PATH
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["load_events", "merged_metrics", "build_report", "main"]
+
+
+def load_events(path: Path) -> list[dict]:
+    """Parse a JSONL stream, skipping blank or truncated lines."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # a line torn by a killed writer is not fatal
+    return events
+
+
+def merged_metrics(events: Sequence[dict]) -> MetricsRegistry:
+    """Fold every per-process metrics snapshot into one registry."""
+    registry = MetricsRegistry()
+    for event in events:
+        if event.get("kind") == "metrics":
+            registry.merge_dict(event.get("metrics", {}))
+    return registry
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.4g}" if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _span_section(events: Sequence[dict], top: int) -> str:
+    totals: dict[str, tuple[int, float]] = {}
+    for event in events:
+        if event.get("kind") != "span":
+            continue
+        count, seconds = totals.get(event["name"], (0, 0.0))
+        totals[event["name"]] = (count + 1, seconds + float(event["duration_s"]))
+    if not totals:
+        return "spans: none recorded"
+    ranked = sorted(totals.items(), key=lambda kv: kv[1][1], reverse=True)[:top]
+    rows = [
+        [name, count, seconds, 1e3 * seconds / count]
+        for name, (count, seconds) in ranked
+    ]
+    return (
+        f"top spans by total time (of {len(totals)} distinct):\n"
+        + _table(["span", "calls", "total_s", "avg_ms"], rows)
+    )
+
+
+def _counter_total(registry: MetricsRegistry, name: str) -> float:
+    return sum(registry.counters.get(name, {}).values())
+
+
+def _cache_section(registry: MetricsRegistry) -> str:
+    hits = _counter_total(registry, "trace_cache.hit")
+    misses = _counter_total(registry, "trace_cache.miss")
+    corruptions = _counter_total(registry, "trace_cache.corruption")
+    lookups = hits + misses
+    if lookups == 0 and corruptions == 0:
+        return "trace cache: no lookups recorded"
+    ratio = 100.0 * hits / lookups if lookups else 0.0
+    return (
+        f"trace cache: {hits:g} hits / {misses:g} misses "
+        f"({ratio:.1f}% hit rate), {corruptions:g} corrupt entries quarantined"
+    )
+
+
+def _decision_section(events: Sequence[dict]) -> str:
+    decisions = [e for e in events if e.get("kind") == "decision"]
+    if not decisions:
+        return "decisions: none recorded"
+    rows = [
+        [
+            d["benchmark"],
+            d["dataset"],
+            d["chosen_accelerator"],
+            d["config"],
+            float(d["predicted_time_ms"]),
+            d["runner_up_accelerator"],
+            f"{float(d['margin_pct']):+.1f}%",
+        ]
+        for d in decisions
+    ]
+    coinflips = sum(1 for d in decisions if abs(float(d["margin_pct"])) < 5.0)
+    mispredicts = sum(1 for d in decisions if float(d["margin_ms"]) < 0.0)
+    return (
+        f"decision audit ({len(decisions)} scheduled workloads, "
+        f"{mispredicts} predicted-slower-than-runner-up, "
+        f"{coinflips} within 5% of the runner-up):\n"
+        + _table(
+            [
+                "benchmark",
+                "dataset",
+                "chosen",
+                "config",
+                "pred_ms",
+                "runner_up",
+                "margin",
+            ],
+            rows,
+        )
+    )
+
+
+def _counters_section(registry: MetricsRegistry) -> str:
+    if not registry.counters:
+        return "counters: none recorded"
+    rows = [
+        [name, total]
+        for name, total in sorted(
+            (name, _counter_total(registry, name))
+            for name in registry.counters
+        )
+    ]
+    return "counters (summed across processes):\n" + _table(
+        ["counter", "total"], rows
+    )
+
+
+def build_report(events: Sequence[dict], *, top: int = 10) -> str:
+    """Render the full human-readable report for one event stream."""
+    kinds = Counter(event.get("kind", "?") for event in events)
+    pids = {event.get("pid") for event in events if "pid" in event}
+    census = ", ".join(f"{kind}={count}" for kind, count in sorted(kinds.items()))
+    registry = merged_metrics(events)
+    sections = [
+        f"repro-obs report — {len(events)} events from {len(pids)} process(es) "
+        f"({census})",
+        _span_section(events, top),
+        _cache_section(registry),
+        _decision_section(events),
+        _counters_section(registry),
+    ]
+    return "\n\n".join(sections)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize a REPRO_OBS JSONL event stream.",
+    )
+    parser.add_argument(
+        "stream",
+        nargs="?",
+        default=DEFAULT_JSONL_PATH,
+        help=f"JSONL event stream path (default: {DEFAULT_JSONL_PATH})",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, help="span rows to show (default: 10)"
+    )
+    parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit the merged metrics as a Prometheus text snapshot instead",
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.stream)
+    if not path.exists():
+        print(f"error: no event stream at {path}", file=sys.stderr)
+        print(
+            "hint: run with REPRO_OBS=jsonl (or jsonl:<path>) to produce one",
+            file=sys.stderr,
+        )
+        return 2
+    events = load_events(path)
+    if args.prometheus:
+        sys.stdout.write(merged_metrics(events).to_prometheus())
+        return 0
+    print(build_report(events, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

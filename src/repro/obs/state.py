@@ -1,0 +1,171 @@
+"""Process-wide observability state and the no-op fast path.
+
+One :class:`ObsState` singleton owns the tracer, the metrics registry,
+the decision-record buffer, and the optional JSONL sink.  The facade
+functions here are what instrumented code calls; all of them check
+``state.enabled`` first and fall through to a no-op, so with
+``REPRO_OBS`` unset the per-call cost is one attribute load and a branch
+— no allocations, no locks, no I/O.  The guard test in
+``tests/obs/test_disabled.py`` pins that contract.
+
+Tests reconfigure the singleton with :func:`configure` (fake clocks,
+temp JSONL paths) and restore it with :func:`reset`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import time
+from dataclasses import replace
+from typing import Callable
+
+from repro.obs.audit import DecisionRecord
+from repro.obs.config import ObsConfig, config_from_env
+from repro.obs.events import JsonlSink
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NOOP_SPAN, SpanRecord, Tracer
+
+__all__ = [
+    "ObsState",
+    "state",
+    "configure",
+    "reset",
+    "enabled",
+    "quiet",
+    "set_quiet",
+    "span",
+    "counter",
+    "gauge",
+    "histogram",
+    "record_decision",
+    "prometheus_text",
+    "flush",
+]
+
+
+class ObsState:
+    """Everything the observability layer accumulates in one process."""
+
+    def __init__(
+        self,
+        config: ObsConfig,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.config = config
+        self.enabled = config.enabled
+        self.clock = clock
+        self.sink = JsonlSink(config.jsonl_path) if config.jsonl_path else None
+        self.tracer = Tracer(clock=clock, emit=self._emit_span)
+        self.metrics = MetricsRegistry()
+        self.decisions: list[DecisionRecord] = []
+        self._flushed = False
+
+    def _emit_span(self, record: SpanRecord) -> None:
+        if self.sink is not None:
+            self.sink.emit("span", record.as_dict())
+
+    def flush(self) -> None:
+        """Write the exit-time exports (metrics snapshot, Prometheus file).
+
+        Runs at most once per state; registered with ``atexit`` so every
+        instrumented process leaves a metrics snapshot in its JSONL
+        stream for the report CLI to aggregate.
+        """
+        if self._flushed:
+            return
+        self._flushed = True
+        if self.enabled and self.sink is not None:
+            self.sink.emit("metrics", {"metrics": self.metrics.as_dict()})
+            self.sink.close()
+        if self.enabled and self.config.prom_path is not None:
+            self.config.prom_path.write_text(
+                self.metrics.to_prometheus(), encoding="utf-8"
+            )
+
+
+_state = ObsState(config_from_env())
+
+
+def state() -> ObsState:
+    """The live singleton (inspection from tests and the report CLI)."""
+    return _state
+
+
+def configure(
+    config: ObsConfig | None = None,
+    *,
+    clock: Callable[[], float] = time.perf_counter,
+) -> ObsState:
+    """Replace the singleton (tests; CLIs toggling quiet mode).
+
+    Passing ``config=None`` re-reads the environment.
+    """
+    global _state
+    _state.flush()
+    _state = ObsState(config_from_env() if config is None else config, clock=clock)
+    return _state
+
+
+def reset() -> ObsState:
+    """Rebuild state from the current environment."""
+    return configure(None)
+
+
+def enabled() -> bool:
+    return _state.enabled
+
+
+def quiet() -> bool:
+    return _state.config.quiet
+
+
+def set_quiet(value: bool) -> None:
+    """Toggle human stderr output (the CLIs' ``--quiet`` flag) without
+    rebuilding the state or touching the event stream."""
+    _state.config = replace(_state.config, quiet=value)
+
+
+def span(name: str, **attrs: object):
+    """A tracing span context manager; shared no-op when disabled."""
+    if not _state.enabled:
+        return NOOP_SPAN
+    return _state.tracer.span(name, **attrs)
+
+
+def counter(name: str, value: float = 1.0, **labels: object) -> None:
+    if _state.enabled:
+        _state.metrics.inc(name, value, **labels)
+
+
+def gauge(name: str, value: float, **labels: object) -> None:
+    if _state.enabled:
+        _state.metrics.set_gauge(name, value, **labels)
+
+
+def histogram(name: str, value: float, **labels: object) -> None:
+    if _state.enabled:
+        _state.metrics.observe(name, value, **labels)
+
+
+def record_decision(record: DecisionRecord) -> None:
+    """Buffer (and export) one predictor decision-audit record."""
+    if not _state.enabled:
+        return
+    _state.decisions.append(record)
+    _state.metrics.inc("heteromap.decisions", accelerator=record.chosen_accelerator)
+    _state.metrics.observe("heteromap.decision_margin_pct", record.margin_pct)
+    if _state.sink is not None:
+        _state.sink.emit("decision", record.as_dict())
+
+
+def prometheus_text() -> str:
+    """Prometheus-style text snapshot of the live metrics registry."""
+    return _state.metrics.to_prometheus()
+
+
+def flush() -> None:
+    """Force the exit-time exports now (CI steps that outlive the run)."""
+    _state.flush()
+
+
+atexit.register(lambda: _state.flush())

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.accel.simulator import SimulationResult, simulate
 from repro.features.bvars import BVariables
 from repro.features.ivars import IVariables, ivars_from_meta
@@ -70,8 +71,9 @@ def _proxy_trace(benchmark: str, dataset: str):
     cached = load_trace(key)
     if cached is not None:
         return cached
-    graph = load_proxy_graph(dataset)
-    trace = get_kernel(benchmark).run(graph).trace
+    with obs.span("deploy.proxy_kernel", benchmark=benchmark, dataset=dataset):
+        graph = load_proxy_graph(dataset)
+        trace = get_kernel(benchmark).run(graph).trace
     store_trace(key, trace)
     return trace
 
@@ -82,6 +84,11 @@ def prepare_workload(benchmark: str, dataset: str) -> Workload:
     Raises:
         UnknownBenchmarkError / UnknownDatasetError: on bad names.
     """
+    with obs.span("deploy.prepare_workload", benchmark=benchmark, dataset=dataset):
+        return _prepare_workload(benchmark, dataset)
+
+
+def _prepare_workload(benchmark: str, dataset: str) -> Workload:
     spec = get_dataset(dataset)
     graph = load_proxy_graph(spec.name)
     stats = compute_stats(graph)
@@ -119,4 +126,8 @@ def run_workload(
     workload: Workload, spec: AcceleratorSpec, config: MachineConfig
 ) -> SimulationResult:
     """Deploy a prepared workload on one accelerator configuration."""
-    return simulate(workload.profile, spec, config)
+    result = simulate(workload.profile, spec, config)
+    if obs.enabled():
+        obs.counter("deploy.runs", accelerator=spec.name)
+        obs.histogram("deploy.simulated_time_ms", result.time_ms)
+    return result

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import GraphError
 from repro.graph.chunking import iter_chunks, plan_chunks
 from repro.graph.csr import CSRGraph
@@ -53,56 +54,72 @@ def streaming_sssp_bf(
     if max_iterations is None:
         max_iterations = max(1, graph.num_vertices)
 
-    ranges = plan_chunks(graph, budget_bytes)
-    dist = np.full(graph.num_vertices, np.inf)
-    dist[source] = 0.0
+    with obs.span(
+        "streaming.sssp_bf",
+        vertices=graph.num_vertices,
+        budget_bytes=budget_bytes,
+    ) as span:
+        ranges = plan_chunks(graph, budget_bytes)
+        dist = np.full(graph.num_vertices, np.inf)
+        dist[source] = 0.0
 
-    chunk_loads = 0
-    iterations = 0
-    for _ in range(max_iterations):
-        iterations += 1
-        changed = False
-        for chunk in iter_chunks(graph, budget_bytes):
-            chunk_loads += 1
-            sub = chunk.subgraph
-            local_edges = sub.edges()
-            if local_edges.size == 0:
-                continue
-            sources = local_edges[:, 0] + chunk.vertex_start
-            dests = local_edges[:, 1]
-            candidate = dist[sources] + sub.weights
-            old = dist[dests].copy()
-            np.minimum.at(dist, dests, candidate)
-            if np.any(dist[dests] < old):
-                changed = True
-        if not changed:
-            break
+        chunk_loads = 0
+        iterations = 0
+        for _ in range(max_iterations):
+            iterations += 1
+            changed = False
+            for chunk in iter_chunks(graph, budget_bytes):
+                chunk_loads += 1
+                sub = chunk.subgraph
+                local_edges = sub.edges()
+                if local_edges.size == 0:
+                    continue
+                sources = local_edges[:, 0] + chunk.vertex_start
+                dests = local_edges[:, 1]
+                candidate = dist[sources] + sub.weights
+                old = dist[dests].copy()
+                np.minimum.at(dist, dests, candidate)
+                if np.any(dist[dests] < old):
+                    changed = True
+            if not changed:
+                break
 
-    return StreamingRunResult(
-        output=dist,
-        num_chunks=len(ranges),
-        iterations=iterations,
-        chunk_loads=chunk_loads,
-    )
+        span.set(iterations=iterations, chunk_loads=chunk_loads)
+        obs.counter("streaming.runs", kernel="sssp_bf")
+        obs.counter("streaming.chunk_loads", chunk_loads)
+        return StreamingRunResult(
+            output=dist,
+            num_chunks=len(ranges),
+            iterations=iterations,
+            chunk_loads=chunk_loads,
+        )
 
 
 def streaming_degree_sum(graph: CSRGraph, budget_bytes: int) -> StreamingRunResult:
     """Single-pass chunked aggregate (per-vertex out-degree), exercising
     the streaming plumbing for non-iterative analytics."""
-    degrees = np.zeros(graph.num_vertices, dtype=np.int64)
-    chunk_loads = 0
-    num_chunks = 0
-    for chunk in iter_chunks(graph, budget_bytes):
-        chunk_loads += 1
-        num_chunks += 1
-        sub = chunk.subgraph
-        owned = np.diff(
-            sub.indptr[: chunk.num_owned_vertices + 1]
+    with obs.span(
+        "streaming.degree_sum",
+        vertices=graph.num_vertices,
+        budget_bytes=budget_bytes,
+    ) as span:
+        degrees = np.zeros(graph.num_vertices, dtype=np.int64)
+        chunk_loads = 0
+        num_chunks = 0
+        for chunk in iter_chunks(graph, budget_bytes):
+            chunk_loads += 1
+            num_chunks += 1
+            sub = chunk.subgraph
+            owned = np.diff(
+                sub.indptr[: chunk.num_owned_vertices + 1]
+            )
+            degrees[chunk.vertex_start : chunk.vertex_stop] = owned
+        span.set(chunk_loads=chunk_loads)
+        obs.counter("streaming.runs", kernel="degree_sum")
+        obs.counter("streaming.chunk_loads", chunk_loads)
+        return StreamingRunResult(
+            output=degrees,
+            num_chunks=num_chunks,
+            iterations=1,
+            chunk_loads=chunk_loads,
         )
-        degrees[chunk.vertex_start : chunk.vertex_stop] = owned
-    return StreamingRunResult(
-        output=degrees,
-        num_chunks=num_chunks,
-        iterations=1,
-        chunk_loads=chunk_loads,
-    )

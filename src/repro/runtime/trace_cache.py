@@ -13,11 +13,12 @@ import json
 import os
 from pathlib import Path
 
+from repro import obs
 from repro.ioutil import atomic_write_text
 from repro.workload.phases import PhaseKind
 from repro.workload.profile import KernelTrace, PhaseTrace
 
-__all__ = ["cache_dir", "load_trace", "store_trace", "clear_cache"]
+__all__ = ["cache_dir", "load_trace", "store_trace", "clear_cache", "quarantine_path"]
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 _memory_cache: dict[str, KernelTrace] = {}
@@ -71,19 +72,51 @@ def _trace_from_dict(payload: dict) -> KernelTrace:
     )
 
 
+def quarantine_path(path: Path) -> Path:
+    """Where a corrupt cache entry is moved (``<name>.json.corrupt``)."""
+    return path.with_name(path.name + ".corrupt")
+
+
+def _quarantine(path: Path, error: Exception) -> None:
+    """Move a corrupt entry aside so it cannot fail every future run."""
+    obs.counter("trace_cache.corruption")
+    target = quarantine_path(path)
+    try:
+        os.replace(path, target)
+        quarantined: str | None = str(target)
+    except OSError:
+        quarantined = None  # racing process already regenerated/moved it
+    obs.get_logger("trace_cache").warning(
+        "cache.corruption",
+        path=str(path),
+        error=f"{type(error).__name__}: {error}",
+        quarantined=quarantined,
+    )
+
+
 def load_trace(key: str) -> KernelTrace | None:
-    """Fetch a cached trace, or None on miss/corruption."""
+    """Fetch a cached trace, or None on miss.
+
+    A corrupt on-disk entry counts (``trace_cache.corruption``), warns
+    with the offending path, and is quarantined to ``<name>.json.corrupt``
+    before being treated as a miss — so it is regenerated once instead of
+    failing every run.
+    """
     if key in _memory_cache:
+        obs.counter("trace_cache.hit", tier="memory")
         return _memory_cache[key]
     path = _key_path(key)
     if not path.exists():
+        obs.counter("trace_cache.miss")
         return None
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
         trace = _trace_from_dict(payload)
-    except (json.JSONDecodeError, KeyError, ValueError, TypeError):
-        # A corrupt cache entry is just a miss; it will be regenerated.
+    except (json.JSONDecodeError, KeyError, ValueError, TypeError) as error:
+        _quarantine(path, error)
+        obs.counter("trace_cache.miss")
         return None
+    obs.counter("trace_cache.hit", tier="disk")
     _memory_cache[key] = trace
     return trace
 
@@ -95,13 +128,14 @@ def store_trace(key: str, trace: KernelTrace) -> None:
     test/benchmark processes racing on the same entry — or a process
     killed mid-write — can never leave a truncated JSON blob behind.
     """
+    obs.counter("trace_cache.store")
     _memory_cache[key] = trace
     atomic_write_text(_key_path(key), json.dumps(_trace_to_dict(trace)))
 
 
 def clear_cache() -> None:
-    """Drop every cached trace (memory and disk)."""
+    """Drop every cached trace (memory, disk, and quarantined entries)."""
     _memory_cache.clear()
     root = cache_dir()
-    for path in root.glob("*.json"):
+    for path in (*root.glob("*.json"), *root.glob("*.json.corrupt")):
         path.unlink()

@@ -13,6 +13,7 @@ suite pins the batch path to the scalar reference model.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.accel.batch import batch_evaluate
 from repro.accel.simulator import SimulationResult
 from repro.machine.specs import AcceleratorSpec
@@ -32,7 +33,11 @@ def sweep(
     earlier version accepted a ``metric`` argument it never used — callers
     that want the optimum should use :func:`best_on_accelerator`.)
     """
-    return batch_evaluate(profile, spec).materialize_all()
+    with obs.span("tuning.sweep", accelerator=spec.name) as span:
+        batch = batch_evaluate(profile, spec)
+        span.set(configs=len(batch))
+        obs.counter("tuning.configs_evaluated", len(batch), path="batch")
+        return batch.materialize_all()
 
 
 def best_on_accelerator(
@@ -42,7 +47,13 @@ def best_on_accelerator(
     metric: str = "time",
 ) -> SimulationResult:
     """Best lattice point on one accelerator for the given objective."""
-    return batch_evaluate(profile, spec).best(metric)
+    with obs.span(
+        "tuning.sweep", accelerator=spec.name, metric=metric
+    ) as span:
+        batch = batch_evaluate(profile, spec)
+        span.set(configs=len(batch))
+        obs.counter("tuning.configs_evaluated", len(batch), path="batch")
+        return batch.best(metric)
 
 
 def best_on_pair(

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.accel.simulator import SimulationResult, simulate
 from repro.machine.mvars import MachineConfig
 from repro.machine.space import iter_configs
@@ -65,19 +66,27 @@ def hill_climb(
             evaluated[index] = simulate(profile, spec, lattice[index])
         return evaluated[index].objective(metric)
 
-    best_index = 0
-    best_value = float("inf")
-    for _ in range(max(1, restarts)):
-        current = int(rng.integers(len(lattice)))
-        current_value = value_at(current)
-        for _ in range(max_steps):
-            neighbor_ids = _neighbors(current, len(lattice), rng, k=6)
-            candidates = [(value_at(n), n) for n in neighbor_ids]
-            candidate_value, candidate = min(candidates)
-            if candidate_value >= current_value:
-                break
-            current, current_value = candidate, candidate_value
-        if current_value < best_value:
-            best_value = current_value
-            best_index = current
-    return evaluated[best_index]
+    with obs.span(
+        "tuning.hill_climb",
+        accelerator=spec.name,
+        metric=metric,
+        restarts=restarts,
+    ) as span:
+        best_index = 0
+        best_value = float("inf")
+        for _ in range(max(1, restarts)):
+            current = int(rng.integers(len(lattice)))
+            current_value = value_at(current)
+            for _ in range(max_steps):
+                neighbor_ids = _neighbors(current, len(lattice), rng, k=6)
+                candidates = [(value_at(n), n) for n in neighbor_ids]
+                candidate_value, candidate = min(candidates)
+                if candidate_value >= current_value:
+                    break
+                current, current_value = candidate, candidate_value
+            if current_value < best_value:
+                best_value = current_value
+                best_index = current
+        span.set(configs=len(evaluated), lattice=len(lattice))
+        obs.counter("tuning.configs_evaluated", len(evaluated), path="scalar")
+        return evaluated[best_index]

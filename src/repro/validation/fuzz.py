@@ -25,6 +25,7 @@ import sys
 import time
 from collections.abc import Callable, Sequence
 
+from repro import obs
 from repro.errors import ValidationError
 from repro.validation.invariants import run_kernel_case
 from repro.validation.oracle import run_oracle_case
@@ -78,9 +79,13 @@ def fuzz(
     max_cases: int,
     *,
     verbose: bool = False,
-    log: Callable[[str], None] = print,
+    log: Callable[[str], None] | None = None,
 ) -> dict[str, int]:
     """Round-robin the components until budget or case caps are hit.
+
+    Args:
+        log: optional override for verbose per-case lines; defaults to
+            the ``repro.obs`` structured logger.
 
     Returns:
         Cases completed per component.
@@ -88,6 +93,7 @@ def fuzz(
     Raises:
         FuzzFailure: on the first failing case.
     """
+    logger = obs.get_logger("fuzz")
     seed_streams = {
         component: iterate_case_seeds(master_seed, component)
         for component in components
@@ -95,18 +101,28 @@ def fuzz(
     completed = dict.fromkeys(components, 0)
     deadline = time.monotonic() + budget_s
     active = list(components)
-    while active and time.monotonic() < deadline:
-        for component in list(active):
-            if completed[component] >= max_cases:
-                active.remove(component)
-                continue
-            if time.monotonic() >= deadline:
-                break
-            case_seed = next(seed_streams[component])
-            description = run_case(component, case_seed)
-            completed[component] += 1
-            if verbose:
-                log(f"  [{component}] seed={case_seed}: {description}")
+    with obs.span("fuzz.loop", seed=master_seed, budget_s=budget_s):
+        while active and time.monotonic() < deadline:
+            for component in list(active):
+                if completed[component] >= max_cases:
+                    active.remove(component)
+                    continue
+                if time.monotonic() >= deadline:
+                    break
+                case_seed = next(seed_streams[component])
+                description = run_case(component, case_seed)
+                completed[component] += 1
+                obs.counter("fuzz.cases", component=component)
+                if verbose:
+                    if log is not None:
+                        log(f"  [{component}] seed={case_seed}: {description}")
+                    else:
+                        logger.info(
+                            "case",
+                            component=component,
+                            seed=case_seed,
+                            description=description,
+                        )
     return completed
 
 
@@ -153,12 +169,20 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--verbose", action="store_true", help="log every case description"
     )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress informational output (failures still print)",
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.quiet:
+        obs.set_quiet(True)
+    logger = obs.get_logger("fuzz")
     budget_s, max_cases = TIERS[args.tier]
     if args.budget is not None:
         budget_s = args.budget
@@ -169,15 +193,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             master_seed_from_env() if args.seed is None else int(args.seed)
         )
     except ValidationError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        logger.error("bad_seed", error=str(exc))
         return 2
     components = (
         sorted(COMPONENTS) if args.component == "all" else [args.component]
     )
 
-    print(
-        f"fuzz tier={args.tier} seed={master_seed} budget={budget_s:g}s "
-        f"cases<={max_cases}/component components={','.join(components)}"
+    logger.info(
+        "start",
+        tier=args.tier,
+        seed=master_seed,
+        budget_s=budget_s,
+        max_cases_per_component=max_cases,
+        components=",".join(components),
     )
     started = time.monotonic()
     try:
@@ -189,11 +217,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             verbose=args.verbose,
         )
     except FuzzFailure as failure:
-        print(f"FAIL: {failure}", file=sys.stderr)
+        logger.error("violation", detail=str(failure))
         return 1
     elapsed = time.monotonic() - started
-    summary = ", ".join(f"{name}={count}" for name, count in completed.items())
-    print(f"ok: {summary} cases in {elapsed:.1f}s, no violations")
+    logger.info(
+        "ok",
+        elapsed_s=round(elapsed, 1),
+        no_violations=True,
+        **{name: count for name, count in completed.items()},
+    )
     return 0
 
 

@@ -1,0 +1,52 @@
+"""Fixtures for the observability tests.
+
+Every test in this package runs against an explicitly configured obs
+state (never the ambient ``REPRO_OBS`` environment, which CI sets to
+``jsonl``) and restores the env-derived state afterwards so the rest of
+the suite is unaffected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture(autouse=True)
+def _restore_obs_state():
+    yield
+    obs.reset()
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def enabled_obs(fake_clock):
+    """An enabled, in-memory-only obs state driven by the fake clock."""
+    return obs.configure(obs.ObsConfig(enabled=True), clock=fake_clock)
+
+
+@pytest.fixture
+def jsonl_obs(tmp_path, fake_clock):
+    """An enabled obs state streaming events to a temp JSONL file."""
+    path = tmp_path / "events.jsonl"
+    state = obs.configure(
+        obs.ObsConfig(enabled=True, jsonl_path=path), clock=fake_clock
+    )
+    return state, path

@@ -1,0 +1,57 @@
+"""REPRO_OBS / REPRO_OBS_PROM environment parsing."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.config import DEFAULT_JSONL_PATH, ObsConfig, config_from_env
+
+
+class TestOff:
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "no", "OFF", " 0 "])
+    def test_disabled_values(self, value):
+        config = config_from_env({"REPRO_OBS": value})
+        assert config == ObsConfig(enabled=False)
+
+    def test_unset_is_disabled(self):
+        assert config_from_env({}) == ObsConfig(enabled=False)
+
+
+class TestOn:
+    @pytest.mark.parametrize("value", ["1", "true", "on", "yes", "TRUE"])
+    def test_enabled_values(self, value):
+        config = config_from_env({"REPRO_OBS": value})
+        assert config.enabled
+        assert config.jsonl_path is None
+
+    def test_jsonl_uses_default_path(self):
+        config = config_from_env({"REPRO_OBS": "jsonl"})
+        assert config.enabled
+        assert config.jsonl_path == Path(DEFAULT_JSONL_PATH)
+
+    def test_jsonl_with_explicit_path(self):
+        config = config_from_env({"REPRO_OBS": "jsonl:/tmp/Run 1/Events.jsonl"})
+        assert config.jsonl_path == Path("/tmp/Run 1/Events.jsonl")
+
+    def test_prom_path_composes_with_any_mode(self):
+        config = config_from_env(
+            {"REPRO_OBS": "jsonl", "REPRO_OBS_PROM": "metrics.prom"}
+        )
+        assert config.prom_path == Path("metrics.prom")
+        disabled = config_from_env({"REPRO_OBS_PROM": "metrics.prom"})
+        assert not disabled.enabled
+        assert disabled.prom_path == Path("metrics.prom")
+
+
+class TestRejects:
+    @pytest.mark.parametrize("value", ["2", "verbose", "json", "jsonl;x"])
+    def test_unrecognized_value_raises(self, value):
+        with pytest.raises(ObservabilityError, match="unrecognized REPRO_OBS"):
+            config_from_env({"REPRO_OBS": value})
+
+    def test_jsonl_with_empty_path_raises(self):
+        with pytest.raises(ObservabilityError, match="missing a path"):
+            config_from_env({"REPRO_OBS": "jsonl:"})

@@ -1,0 +1,87 @@
+"""Structured logger: stderr rendering, quiet mode, JSONL mirroring."""
+
+from __future__ import annotations
+
+import json
+
+import repro.obs as obs
+
+
+class TestStderrFormat:
+    def test_info_line(self, capsys):
+        obs.configure(obs.ObsConfig(enabled=False))
+        obs.get_logger("bench").info("recorded", path="BENCH_sweep.json", runs=3)
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "[bench] recorded path=BENCH_sweep.json runs=3\n"
+
+    def test_warning_and_error_carry_level_prefix(self, capsys):
+        obs.configure(obs.ObsConfig(enabled=False))
+        logger = obs.get_logger("trace_cache")
+        logger.warning("cache.corruption", path="x.json")
+        logger.error("violation", seed=5)
+        err = capsys.readouterr().err.splitlines()
+        assert err == [
+            "[trace_cache] WARNING: cache.corruption path=x.json",
+            "[trace_cache] ERROR: violation seed=5",
+        ]
+
+    def test_values_with_spaces_are_quoted_and_floats_compact(self, capsys):
+        obs.configure(obs.ObsConfig(enabled=False))
+        obs.get_logger("c").info("e", msg="two words", ratio=0.3333333333)
+        assert capsys.readouterr().err == '[c] e msg="two words" ratio=0.333333\n'
+
+    def test_works_with_obs_disabled(self, capsys):
+        # The stderr half must not depend on REPRO_OBS at all.
+        state = obs.configure(obs.ObsConfig(enabled=False))
+        assert not state.enabled
+        obs.get_logger("fuzz").info("start", tier="quick")
+        assert "[fuzz] start tier=quick" in capsys.readouterr().err
+
+
+class TestQuiet:
+    def test_quiet_suppresses_info_only(self, capsys):
+        obs.configure(obs.ObsConfig(enabled=False, quiet=True))
+        logger = obs.get_logger("bench")
+        logger.info("progress", step=1)
+        logger.warning("slow", factor=2.0)
+        logger.error("failed", code=2)
+        err = capsys.readouterr().err
+        assert "progress" not in err
+        assert "WARNING: slow" in err
+        assert "ERROR: failed" in err
+
+    def test_set_quiet_toggles_live_state(self, capsys):
+        obs.configure(obs.ObsConfig(enabled=False))
+        obs.set_quiet(True)
+        assert obs.quiet()
+        obs.get_logger("bench").info("hidden")
+        assert capsys.readouterr().err == ""
+        obs.set_quiet(False)
+        obs.get_logger("bench").info("visible")
+        assert "visible" in capsys.readouterr().err
+
+
+class TestJsonlMirror:
+    def test_log_events_stream_to_sink(self, jsonl_obs, capsys):
+        _, path = jsonl_obs
+        obs.get_logger("fuzz").info("ok", cases=12)
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert events == [
+            {
+                "kind": "log",
+                "pid": events[0]["pid"],
+                "level": "info",
+                "component": "fuzz",
+                "event": "ok",
+                "cases": 12,
+            }
+        ]
+
+    def test_quiet_still_streams_to_sink(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        obs.configure(obs.ObsConfig(enabled=True, jsonl_path=path, quiet=True))
+        obs.get_logger("bench").info("silent", step=1)
+        assert capsys.readouterr().err == ""  # terminal silenced...
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert events[0]["event"] == "silent"  # ...telemetry kept

@@ -1,0 +1,98 @@
+"""Metrics registry: counters, gauges, histograms, and export round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestCounters:
+    def test_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("cache.hit")
+        registry.inc("cache.hit", 2)
+        assert registry.counter_value("cache.hit") == 3.0
+
+    def test_label_sets_are_separate_series(self):
+        registry = MetricsRegistry()
+        registry.inc("evals", path="batch")
+        registry.inc("evals", 5, path="scalar")
+        assert registry.counter_value("evals", path="batch") == 1.0
+        assert registry.counter_value("evals", path="scalar") == 5.0
+        assert registry.counter_value("evals") == 0.0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("overhead_ms", 1.5)
+        registry.set_gauge("overhead_ms", 0.7)
+        assert registry.as_dict()["gauges"]["overhead_ms"][0]["value"] == 0.7
+
+
+class TestHistograms:
+    def test_bucketing_and_sum(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.cumulative() == [1, 2, 3]
+        assert histogram.total == pytest.approx(55.5)
+        assert histogram.count == 3
+
+    def test_boundary_value_lands_in_le_bucket(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        histogram.observe(1.0)
+        assert histogram.counts == [1, 0, 0]  # le="1" is inclusive
+
+    def test_registry_observe_uses_default_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("time_ms", 12.5)
+        entry = registry.as_dict()["histograms"]["time_ms"][0]
+        assert tuple(entry["bounds"]) == DEFAULT_BUCKETS
+        assert entry["count"] == 1
+
+
+class TestExportRoundTrip:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.inc("cache.hit", 3, tier="disk")
+        registry.inc("cache.miss")
+        registry.set_gauge("samples", 48)
+        registry.observe("sweep_s", 0.25, accelerator="phi")
+        registry.observe("sweep_s", 2.5, accelerator="phi")
+        return registry
+
+    def test_dict_merge_round_trip(self):
+        original = self._populated()
+        merged = MetricsRegistry()
+        merged.merge_dict(original.as_dict())
+        assert merged.as_dict() == original.as_dict()
+
+    def test_merge_sums_counters_across_processes(self):
+        merged = MetricsRegistry()
+        merged.merge_dict(self._populated().as_dict())
+        merged.merge_dict(self._populated().as_dict())
+        assert merged.counter_value("cache.hit", tier="disk") == 6.0
+        entry = merged.as_dict()["histograms"]["sweep_s"][0]
+        assert entry["count"] == 4
+        assert entry["sum"] == pytest.approx(5.5)
+
+    def test_prometheus_snapshot(self):
+        text = self._populated().to_prometheus()
+        assert "# TYPE repro_cache_hit counter" in text
+        assert 'repro_cache_hit{tier="disk"} 3' in text
+        assert "repro_cache_miss 1" in text
+        assert "# TYPE repro_samples gauge" in text
+        assert "# TYPE repro_sweep_s histogram" in text
+        assert 'repro_sweep_s_bucket{accelerator="phi",le="+Inf"} 2' in text
+        assert 'repro_sweep_s_count{accelerator="phi"} 2' in text
+
+    def test_prometheus_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        for value in (0.5, 5.0):
+            registry.observe("h", value)
+        text = registry.to_prometheus()
+        assert 'repro_h_bucket{le="1"} 1' in text
+        assert 'repro_h_bucket{le="10"} 2' in text

@@ -1,0 +1,113 @@
+"""The repro-obs-report CLI: section rendering and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import repro.obs as obs
+from repro.obs.report import build_report, load_events, main, merged_metrics
+
+
+def _write_stream(path, events):
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+
+
+def _demo_events():
+    registry_dict = {
+        "counters": {
+            "trace_cache.hit": [{"labels": {"tier": "disk"}, "value": 3.0}],
+            "trace_cache.miss": [{"labels": {}, "value": 1.0}],
+            "trace_cache.corruption": [{"labels": {}, "value": 1.0}],
+        },
+        "gauges": {},
+        "histograms": {},
+    }
+    decision = obs.DecisionRecord(
+        benchmark="sssp_bf",
+        dataset="usa-cal",
+        predictor="deep128",
+        metric="time",
+        features=(0.0,) * 17,
+        chosen_accelerator="gtx750ti",
+        config="gpu(g=4096,l=128)",
+        predicted_time_ms=10.0,
+        predicted_energy_j=1.0,
+        predicted_utilization=0.9,
+        runner_up_accelerator="xeonphi7120p",
+        runner_up_time_ms=15.0,
+    )
+    return [
+        {"kind": "span", "pid": 1, "name": "tuning.sweep", "duration_s": 2.0},
+        {"kind": "span", "pid": 1, "name": "tuning.sweep", "duration_s": 1.0},
+        {"kind": "span", "pid": 1, "name": "deploy.proxy_kernel", "duration_s": 0.5},
+        {"kind": "decision", "pid": 1, **decision.as_dict()},
+        {"kind": "metrics", "pid": 1, "metrics": registry_dict},
+        {"kind": "metrics", "pid": 2, "metrics": registry_dict},
+    ]
+
+
+class TestLoadEvents:
+    def test_skips_blank_and_torn_lines(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"kind": "span"}\n\n{"kind": "spa')
+        assert load_events(path) == [{"kind": "span"}]
+
+
+class TestBuildReport:
+    def test_sections(self, tmp_path):
+        report = build_report(_demo_events())
+        assert "6 events from 2 process(es)" in report
+        # Spans ranked by total time, sweep (3.0s over 2 calls) first.
+        assert report.index("tuning.sweep") < report.index("deploy.proxy_kernel")
+        # Metrics snapshots merged across both pids: 3+3 hits, 1+1 misses.
+        assert (
+            "trace cache: 6 hits / 2 misses (75.0% hit rate), "
+            "2 corrupt entries quarantined" in report
+        )
+        assert "decision audit (1 scheduled workloads" in report
+        assert "gpu(g=4096,l=128)" in report
+        assert "+50.0%" in report
+
+    def test_empty_stream(self):
+        report = build_report([])
+        assert "spans: none recorded" in report
+        assert "trace cache: no lookups recorded" in report
+        assert "decisions: none recorded" in report
+        assert "counters: none recorded" in report
+
+    def test_mispredict_and_coinflip_counts(self):
+        base = _demo_events()[3]
+        mispredict = dict(base, margin_ms=-2.0, margin_pct=-20.0)
+        coinflip = dict(base, margin_ms=0.1, margin_pct=1.0)
+        report = build_report([base, mispredict, coinflip])
+        assert "1 predicted-slower-than-runner-up" in report
+        assert "1 within 5% of the runner-up" in report
+
+
+class TestMergedMetrics:
+    def test_counters_sum_across_snapshots(self):
+        registry = merged_metrics(_demo_events())
+        assert registry.counter_value("trace_cache.hit", tier="disk") == 6.0
+
+
+class TestCli:
+    def test_report_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "s.jsonl"
+        _write_stream(path, _demo_events())
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro-obs report" in out
+        assert "decision audit" in out
+
+    def test_prometheus_mode(self, tmp_path, capsys):
+        path = tmp_path / "s.jsonl"
+        _write_stream(path, _demo_events())
+        assert main([str(path), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert 'repro_trace_cache_hit{tier="disk"} 6' in out
+
+    def test_missing_stream_exits_two_with_hint(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert "no event stream" in err
+        assert "REPRO_OBS=jsonl" in err

@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
+import pytest
+
+import repro.obs as obs
+import repro.runtime.trace_cache as trace_cache
 from repro.runtime.trace_cache import (
     cache_dir,
     clear_cache,
     load_trace,
+    quarantine_path,
     store_trace,
 )
 from repro.workload.phases import PhaseKind
@@ -52,3 +57,72 @@ class TestTraceCache:
     def test_key_sanitized(self):
         store_trace("weird/key/with/slashes", _trace())
         assert load_trace("weird/key/with/slashes") == _trace()
+
+
+@pytest.fixture
+def obs_enabled():
+    state = obs.configure(obs.ObsConfig(enabled=True))
+    yield state
+    obs.reset()
+
+
+def _corrupt_entry(key: str):
+    """Store a valid entry, then smash the on-disk JSON behind it."""
+    store_trace(key, _trace())
+    path = cache_dir() / f"{key}.json"
+    path.write_text("{not json")
+    # Drop only the in-memory tier (clear_cache would delete the file
+    # too), so the next load_trace takes the corrupt disk path.
+    trace_cache._memory_cache.clear()
+    return path
+
+
+class TestCorruptionQuarantine:
+    def test_corrupt_entry_quarantined_and_counted(self, obs_enabled, capsys):
+        path = _corrupt_entry("test-quarantine")
+        assert load_trace("test-quarantine") is None
+        assert not path.exists()
+        target = quarantine_path(path)
+        assert target.name == "test-quarantine.json.corrupt"
+        assert target.read_text() == "{not json"
+        assert obs_enabled.metrics.counter_value("trace_cache.corruption") == 1.0
+        err = capsys.readouterr().err
+        assert "[trace_cache] WARNING: cache.corruption" in err
+        assert "test-quarantine.json" in err
+        assert "JSONDecodeError" in err
+
+    def test_quarantined_entry_becomes_plain_miss(self, obs_enabled, capsys):
+        _corrupt_entry("test-quarantine-once")
+        assert load_trace("test-quarantine-once") is None
+        capsys.readouterr()
+        # Entry was moved aside: the retry is a silent ordinary miss, not
+        # a second corruption event.
+        assert load_trace("test-quarantine-once") is None
+        assert capsys.readouterr().err == ""
+        assert obs_enabled.metrics.counter_value("trace_cache.corruption") == 1.0
+        assert obs_enabled.metrics.counter_value("trace_cache.miss") == 2.0
+
+    def test_schema_violation_also_quarantined(self, obs_enabled):
+        store_trace("test-bad-schema", _trace())
+        path = cache_dir() / "test-bad-schema.json"
+        path.write_text('{"benchmark": "b"}')  # valid JSON, missing keys
+        trace_cache._memory_cache.clear()
+        assert load_trace("test-bad-schema") is None
+        assert quarantine_path(path).exists()
+
+    def test_warns_even_with_obs_disabled(self, capsys):
+        obs.configure(obs.ObsConfig(enabled=False))
+        try:
+            path = _corrupt_entry("test-quarantine-disabled")
+            assert load_trace("test-quarantine-disabled") is None
+            assert quarantine_path(path).exists()
+            assert "cache.corruption" in capsys.readouterr().err
+        finally:
+            obs.reset()
+
+    def test_clear_cache_removes_quarantined_entries(self, obs_enabled):
+        path = _corrupt_entry("test-quarantine-clear")
+        assert load_trace("test-quarantine-clear") is None
+        assert quarantine_path(path).exists()
+        clear_cache()
+        assert not quarantine_path(path).exists()

@@ -30,12 +30,14 @@ class TestFuzzLoop:
 
 
 class TestCli:
+    """Human output is structured key=value lines on stderr (repro.obs)."""
+
     def test_quick_run_exits_zero(self, capsys):
         exit_code = main(["--cases", "3", "--budget", "60", "--seed", "5"])
         assert exit_code == 0
-        out = capsys.readouterr().out
-        assert "seed=5" in out
-        assert "no violations" in out
+        err = capsys.readouterr().err
+        assert "seed=5" in err
+        assert "no_violations=True" in err
 
     def test_component_filter(self, capsys):
         exit_code = main(
@@ -43,18 +45,32 @@ class TestCli:
              "--seed", "5", "--verbose"]
         )
         assert exit_code == 0
-        out = capsys.readouterr().out
-        assert "[oracle]" in out
-        assert "kernels=" not in out
+        err = capsys.readouterr().err
+        assert "component=oracle" in err
+        assert "kernels=" not in err
 
     def test_env_seed_respected(self, capsys, monkeypatch):
         monkeypatch.setenv(SEED_ENV_VAR, "909")
         assert main(["--cases", "1", "--budget", "60"]) == 0
-        assert "seed=909" in capsys.readouterr().out
+        assert "seed=909" in capsys.readouterr().err
 
     def test_bad_env_seed_is_a_usage_error(self, capsys, monkeypatch):
         monkeypatch.setenv(SEED_ENV_VAR, "zzz")
         assert main(["--cases", "1"]) == 2
+
+    def test_quiet_silences_info_lines(self, capsys):
+        import repro.obs as obs
+
+        try:
+            exit_code = main(
+                ["--cases", "1", "--budget", "60", "--seed", "5", "--quiet"]
+            )
+        finally:
+            obs.set_quiet(False)
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
 
     def test_failure_exit_code_and_replay_line(self, capsys, monkeypatch):
         monkeypatch.setattr(batch, "_GRAIN_ITEMS", batch._GRAIN_ITEMS * 1.01)
@@ -64,9 +80,23 @@ class TestCli:
         )
         assert exit_code == 1
         err = capsys.readouterr().err
-        assert "FAIL" in err
+        assert "ERROR" in err
         assert f"{SEED_ENV_VAR}=" in err
         assert "--cases 1" in err
+
+    def test_quiet_still_prints_failures(self, capsys, monkeypatch):
+        import repro.obs as obs
+
+        monkeypatch.setattr(batch, "_GRAIN_ITEMS", batch._GRAIN_ITEMS * 1.01)
+        try:
+            exit_code = main(
+                ["--component", "oracle", "--cases", "25", "--budget", "60",
+                 "--seed", "5", "--quiet"]
+            )
+        finally:
+            obs.set_quiet(False)
+        assert exit_code == 1
+        assert "ERROR" in capsys.readouterr().err
 
     def test_replayed_seed_fails_identically(self, monkeypatch):
         monkeypatch.setattr(batch, "_GRAIN_ITEMS", batch._GRAIN_ITEMS * 1.01)
