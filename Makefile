@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-force fuzz fuzz-deep obs-report
+.PHONY: test bench bench-force bench-serve fuzz fuzz-deep obs-report
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,6 +22,11 @@ bench:
 
 bench-force:
 	$(PYTHON) benchmarks/bench_sweep.py --force
+
+# Only the prediction-serving section (scalar vs batched vs cached
+# predictions/sec); other sections keep their existing baseline numbers.
+bench-serve:
+	$(PYTHON) benchmarks/bench_sweep.py --sections predict_throughput
 
 # Summarize the REPRO_OBS=jsonl event stream (repro_obs.jsonl by default):
 # top spans, trace-cache hit ratios, and the predictor decision-audit table.

@@ -7,7 +7,10 @@ Measures the hot paths the batch evaluator exists for and records them to
   vectorized :func:`repro.accel.batch.batch_evaluate` pass (configs/sec
   for both, plus the speedup factor),
 * offline training-database build — seconds per sample and wall time,
-  serial (``workers=1``) and parallel (``workers=N``).
+  serial (``workers=1``) and parallel (``workers=N``),
+* online prediction serving — scalar predict+decode loop vs one batched
+  forward+decode vs warm decision-cache lookups, in predictions/sec, for
+  the deep128 flagship and the tree baselines.
 
 The harness refuses to overwrite an existing baseline with a >25%
 regression on any tracked throughput metric unless ``--force`` is passed,
@@ -27,10 +30,13 @@ from pathlib import Path
 from repro import obs
 from repro.accel.batch import batch_evaluate, lattice_table
 from repro.accel.simulator import simulate
+from repro.core.encoding import decode_config, decode_config_batch, encode_features_batch
+from repro.core.predictors import LearnedPredictor, make_predictor
 from repro.core.training import build_training_database
 from repro.ioutil import atomic_write_text
 from repro.machine.space import iter_configs
 from repro.machine.specs import DEFAULT_PAIR, AcceleratorSpec, get_accelerator
+from repro.runtime.serving import CachedDecision, DecisionCache, feature_key
 from repro.workload.phases import PhaseKind
 from repro.workload.profile import (
     KernelTrace,
@@ -38,12 +44,21 @@ from repro.workload.profile import (
     WorkloadProfile,
     build_profile,
 )
+from repro.workload.synthetic import generate_samples
 from repro.features.bvars import BVariables
 
 __all__ = ["run_bench", "check_regressions", "main"]
 
 DEFAULT_OUTPUT = "BENCH_sweep.json"
 REGRESSION_TOLERANCE = 0.25  # refuse to record a >25% throughput drop
+
+#: Sections ``run_bench`` knows how to produce; ``--sections`` selects a
+#: subset, whose payload is merged over the existing baseline.
+SECTION_NAMES = ("lattice_sweep", "db_build", "predict_throughput")
+
+#: Predictors the serving bench times: the deep128 flagship plus both
+#: tree baselines (analytical + learned CART).
+_SERVE_PREDICTORS = ("deep128", "decision_tree", "cart")
 
 # Higher-is-better metrics the regression gate tracks, as (section, key).
 # The parallel build is recorded but not gated: at bench-sized sample
@@ -53,6 +68,9 @@ _GATED_METRICS = (
     ("lattice_sweep", "scalar_configs_per_sec"),
     ("lattice_sweep", "batch_configs_per_sec"),
     ("db_build", "serial_samples_per_sec"),
+    ("predict_throughput", "deep128_scalar_per_sec"),
+    ("predict_throughput", "deep128_batched_per_sec"),
+    ("predict_throughput", "deep128_cached_per_sec"),
 )
 
 
@@ -152,6 +170,82 @@ def bench_db_build(
     }
 
 
+def bench_predict_throughput(
+    pair: tuple[str, str],
+    *,
+    batch_size: int = 256,
+    train_samples: int = 64,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Time the three online serving paths in predictions/sec.
+
+    For each predictor: the scalar path (one ``predict_vector`` +
+    ``decode_config`` round-trip per workload), the batched path (one
+    ``predict_batch`` + ``decode_config_batch`` pass for the whole batch),
+    and the cached path (warm :class:`DecisionCache` lookups, key build
+    included).  All three produce the same (accelerator, config) decisions
+    — the cache exactly, by construction — so the columns are directly
+    comparable.
+    """
+    specs = [get_accelerator(name) for name in pair]
+    gpu = next(spec for spec in specs if spec.is_gpu)
+    multicore = next(spec for spec in specs if not spec.is_gpu)
+
+    database = build_training_database(
+        gpu, multicore, num_samples=train_samples, seed=seed
+    )
+    matrices = database.matrices()
+    samples = generate_samples(batch_size, seed=seed + 1)
+    features = encode_features_batch(
+        [(sample.bvars, sample.ivars) for sample in samples]
+    )
+
+    results: dict[str, float] = {
+        "pair": list(pair),
+        "batch_size": batch_size,
+        "train_samples": train_samples,
+    }
+    for name in _SERVE_PREDICTORS:
+        predictor = make_predictor(name, gpu, multicore, seed=seed)
+        if isinstance(predictor, LearnedPredictor):
+            predictor.fit(*matrices)
+
+        def scalar_pass():
+            return [
+                decode_config(predictor.predict_vector(row), gpu, multicore)
+                for row in features
+            ]
+
+        def batched_pass():
+            return decode_config_batch(
+                predictor.predict_batch(features), gpu, multicore
+            )
+
+        cache = DecisionCache(capacity=max(batch_size, 1))
+        vectors = predictor.predict_batch(features)
+        decoded = decode_config_batch(vectors, gpu, multicore)
+        for row, vector, (spec, config) in zip(features, vectors, decoded):
+            cache.put(
+                feature_key(row),
+                CachedDecision(spec=spec, config=config, vector=vector),
+            )
+
+        def cached_pass():
+            return [cache.get(feature_key(row)) for row in features]
+
+        scalar_pass(), batched_pass(), cached_pass()  # warm allocator/JIT-free paths
+        scalar_s = min(_timed(scalar_pass) for _ in range(max(1, repeats)))
+        batched_s = min(_timed(batched_pass) for _ in range(max(1, repeats)))
+        cached_s = min(_timed(cached_pass) for _ in range(max(1, repeats)))
+        results[f"{name}_scalar_per_sec"] = batch_size / scalar_s
+        results[f"{name}_batched_per_sec"] = batch_size / batched_s
+        results[f"{name}_cached_per_sec"] = batch_size / cached_s
+        results[f"{name}_batch_speedup"] = scalar_s / batched_s
+        results[f"{name}_cache_speedup"] = batched_s / cached_s
+    return results
+
+
 def _timed(fn) -> float:
     start = time.perf_counter()
     fn()
@@ -166,16 +260,30 @@ def run_bench(
     workers: int = 4,
     repeats: int = 3,
     seed: int = 0,
+    batch_size: int = 256,
+    sections: tuple[str, ...] = SECTION_NAMES,
 ) -> dict:
-    """Run both benches and return the JSON payload."""
-    spec = get_accelerator(accelerator)
-    return {
-        "bench": "sweep",
-        "lattice_sweep": bench_lattice_sweep(spec, repeats=repeats),
-        "db_build": bench_db_build(
+    """Run the selected benches and return the JSON payload.
+
+    Raises:
+        ValueError: for names outside :data:`SECTION_NAMES`.
+    """
+    unknown = [name for name in sections if name not in SECTION_NAMES]
+    if unknown:
+        raise ValueError(f"unknown bench sections {unknown}; known: {SECTION_NAMES}")
+    payload: dict = {"bench": "sweep"}
+    if "lattice_sweep" in sections:
+        spec = get_accelerator(accelerator)
+        payload["lattice_sweep"] = bench_lattice_sweep(spec, repeats=repeats)
+    if "db_build" in sections:
+        payload["db_build"] = bench_db_build(
             pair, num_samples=num_samples, workers=workers, seed=seed
-        ),
-    }
+        )
+    if "predict_throughput" in sections:
+        payload["predict_throughput"] = bench_predict_throughput(
+            pair, batch_size=batch_size, repeats=repeats, seed=seed
+        )
+    return payload
 
 
 def check_regressions(old: dict, new: dict) -> list[str]:
@@ -217,6 +325,16 @@ def main(argv: list[str] | None = None) -> int:
         help="timing repeats for the sweep bench; best-of is recorded",
     )
     parser.add_argument(
+        "--batch-size", type=int, default=256,
+        help="batch size for the predict-throughput bench (default: 256)",
+    )
+    parser.add_argument(
+        "--sections", nargs="+", default=list(SECTION_NAMES),
+        choices=list(SECTION_NAMES), metavar="SECTION",
+        help=f"bench sections to run (default: all of {', '.join(SECTION_NAMES)}); "
+        "sections not run keep their existing baseline numbers",
+    )
+    parser.add_argument(
         "--output", default=DEFAULT_OUTPUT,
         help=f"result JSON path (default: {DEFAULT_OUTPUT})",
     )
@@ -240,35 +358,57 @@ def main(argv: list[str] | None = None) -> int:
             num_samples=args.samples,
             workers=args.workers,
             repeats=args.repeats,
+            batch_size=args.batch_size,
+            sections=tuple(args.sections),
         )
 
-    sweep = payload["lattice_sweep"]
-    db = payload["db_build"]
-    log.info(
-        "lattice_sweep",
-        accelerator=sweep["accelerator"],
-        configs=sweep["lattice_points"],
-        scalar_cfg_per_s=round(sweep["scalar_configs_per_sec"]),
-        batch_cfg_per_s=round(sweep["batch_configs_per_sec"]),
-        speedup=round(sweep["speedup"], 1),
-    )
-    log.info(
-        "db_build",
-        pair=f"{db['pair'][0]}+{db['pair'][1]}",
-        samples=db["num_samples"],
-        serial_ms_per_sample=round(db["serial_s_per_sample"] * 1e3, 1),
-        workers=db["workers"],
-        parallel_ms_per_sample=round(db["parallel_s_per_sample"] * 1e3, 1),
-        parallel_speedup=round(db["parallel_speedup"], 1),
-    )
+    if "lattice_sweep" in payload:
+        sweep = payload["lattice_sweep"]
+        log.info(
+            "lattice_sweep",
+            accelerator=sweep["accelerator"],
+            configs=sweep["lattice_points"],
+            scalar_cfg_per_s=round(sweep["scalar_configs_per_sec"]),
+            batch_cfg_per_s=round(sweep["batch_configs_per_sec"]),
+            speedup=round(sweep["speedup"], 1),
+        )
+    if "db_build" in payload:
+        db = payload["db_build"]
+        log.info(
+            "db_build",
+            pair=f"{db['pair'][0]}+{db['pair'][1]}",
+            samples=db["num_samples"],
+            serial_ms_per_sample=round(db["serial_s_per_sample"] * 1e3, 1),
+            workers=db["workers"],
+            parallel_ms_per_sample=round(db["parallel_s_per_sample"] * 1e3, 1),
+            parallel_speedup=round(db["parallel_speedup"], 1),
+        )
+    if "predict_throughput" in payload:
+        serve = payload["predict_throughput"]
+        for name in _SERVE_PREDICTORS:
+            log.info(
+                "predict_throughput",
+                predictor=name,
+                batch=serve["batch_size"],
+                scalar_per_s=round(serve[f"{name}_scalar_per_sec"]),
+                batched_per_s=round(serve[f"{name}_batched_per_sec"]),
+                cached_per_s=round(serve[f"{name}_cached_per_sec"]),
+                batch_speedup=round(serve[f"{name}_batch_speedup"], 1),
+                cache_speedup=round(serve[f"{name}_cache_speedup"], 1),
+            )
 
     output = Path(args.output)
+    old = {}
     if output.exists():
         try:
             old = json.loads(output.read_text(encoding="utf-8"))
         except (json.JSONDecodeError, OSError):
             old = {}  # corrupt baseline: treat as absent
-        regressions = check_regressions(old, payload)
+    # Sections not re-run keep their baseline numbers, so partial runs
+    # (--sections) never silently drop history.
+    merged = {**old, **payload}
+    if old:
+        regressions = check_regressions(old, merged)
         if regressions and not args.force:
             log.error(
                 "refusing_overwrite",
@@ -278,7 +418,7 @@ def main(argv: list[str] | None = None) -> int:
                 regressions="; ".join(regressions),
             )
             return 2
-    atomic_write_text(output, json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(output, json.dumps(merged, indent=2) + "\n")
     log.info("recorded", path=str(output))
     return 0
 

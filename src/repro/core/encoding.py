@@ -23,8 +23,10 @@ __all__ = [
     "NUM_TARGETS",
     "TARGET_NAMES",
     "encode_features",
+    "encode_features_batch",
     "encode_config",
     "decode_config",
+    "decode_config_batch",
     "choice_signature",
 ]
 
@@ -51,10 +53,47 @@ _SCHEDULE_TO_VALUE = {
     OmpSchedule.GUIDED: 1.0,
 }
 
+# Field defaults for the trusted constructor below, captured from a real
+# instance so they track the dataclass definition.
+_CONFIG_DEFAULTS = dict(MachineConfig(accelerator="").__dict__)
+
+
+def _trusted_config(**updates: object) -> MachineConfig:
+    """Construct a :class:`MachineConfig` without re-running validation.
+
+    ``__init__`` + ``__post_init__`` dominate the per-row cost of batched
+    decoding, yet every knob here is already clamped into its valid range
+    by the vectorized arithmetic — the checks can never fire.  The result
+    is field-identical (``==`` and ``hash``) to a normally constructed
+    instance.  Only for decoder-internal use; anything building configs
+    from unchecked values must go through ``MachineConfig(...)``.
+    """
+    config = object.__new__(MachineConfig)
+    state = dict(_CONFIG_DEFAULTS)
+    state.update(updates)
+    config.__dict__.update(state)
+    return config
+
 
 def encode_features(bvars: BVariables, ivars: IVariables) -> np.ndarray:
     """17-element feature vector: B1..B13 then I1..I4."""
     return np.asarray(bvars.as_vector() + ivars.as_vector(), dtype=np.float64)
+
+
+def encode_features_batch(
+    pairs: "list[tuple[BVariables, IVariables]]",
+) -> np.ndarray:
+    """Stack (B, I) pairs into an ``(n, 17)`` feature matrix.
+
+    Row ``i`` is exactly ``encode_features(*pairs[i])``, so the batched
+    serving path sees bit-identical inputs to the scalar one.
+    """
+    if not pairs:
+        return np.empty((0, NUM_FEATURES), dtype=np.float64)
+    return np.asarray(
+        [bvars.as_vector() + ivars.as_vector() for bvars, ivars in pairs],
+        dtype=np.float64,
+    )
 
 
 def _log_frac(value: float, low: float, high: float) -> float:
@@ -100,42 +139,135 @@ def decode_config(
 
     The accelerator choice thresholds at 0.5 (the paper's default);
     continuous knobs round to their nearest machine value and are clamped
-    by the ceiling rule.
+    by the ceiling rule.  Delegates to :func:`decode_config_batch` so the
+    scalar and batched serving paths share one arithmetic implementation
+    (NumPy scalar ``**``/``log`` round differently from the array ufuncs
+    at the ULP level; a single code path keeps cache entries bit-identical
+    to fresh decodes).
     """
-    vector = np.clip(np.asarray(vector, dtype=np.float64), 0.0, 1.0)
-    is_multicore = vector[0] >= 0.5
-    schedule_value = vector[7]
-    if schedule_value < 0.25:
-        schedule = OmpSchedule.STATIC
-    elif schedule_value < 0.75:
-        schedule = OmpSchedule.DYNAMIC
-    else:
-        schedule = OmpSchedule.GUIDED
-    if is_multicore:
-        spec = multicore
-        config = MachineConfig(
-            accelerator=spec.name,
-            cores=max(1, round(vector[1] * spec.cores)),
-            threads_per_core=max(
-                1, round(1 + vector[2] * (spec.threads_per_core - 1))
-            ),
-            simd_width=max(1, round(2 ** (vector[3] * math.log2(max(spec.simd_width, 2))))),
-            blocktime_ms=min(1000.0, max(1.0, 10 ** (vector[4] * 3.0))),
-            placement_core=float(vector[5]),
-            placement_thread=float(vector[5]),
-            placement_offset=float(vector[5]),
-            affinity=float(vector[6]),
-            omp_schedule=schedule,
-            omp_chunk=max(1, round(_log_unfrac(vector[10], 16.0, 1024.0))),
+    vector = np.asarray(vector, dtype=np.float64)
+    return decode_config_batch(vector.reshape(1, -1), gpu, multicore)[0]
+
+
+def decode_config_batch(
+    vectors: np.ndarray,
+    gpu: AcceleratorSpec,
+    multicore: AcceleratorSpec,
+) -> list[tuple[AcceleratorSpec, MachineConfig]]:
+    """Decode an ``(n, NUM_TARGETS)`` prediction matrix in one pass.
+
+    The knob arithmetic (rounding, log ramps, ceiling clamps) runs
+    vectorized over the whole matrix; only the final
+    :class:`MachineConfig` construction is per-row.  Row ``i`` of the
+    result equals ``decode_config(vectors[i], gpu, multicore)`` — the
+    equivalence is pinned by tests, because the exactness of the serving
+    cache depends on it.
+    """
+    vectors = np.clip(np.asarray(vectors, dtype=np.float64), 0.0, 1.0)
+    if vectors.ndim != 2 or vectors.shape[1] != NUM_TARGETS:
+        raise ValueError(
+            f"expected an (n, {NUM_TARGETS}) prediction matrix, got "
+            f"{vectors.shape}"
         )
-    else:
-        spec = gpu
-        config = MachineConfig(
-            accelerator=spec.name,
-            gpu_global_threads=max(1, round(vector[8] * spec.max_threads)),
-            gpu_local_threads=max(1, round(_log_unfrac(vector[9], 32.0, 1024.0))),
-        )
-    return spec, clamp_config(config, spec)
+    if vectors.shape[0] == 0:
+        return []
+    is_multicore = vectors[:, 0] >= 0.5
+
+    # Multicore knobs (M2-M12), mirroring the scalar formulas exactly.
+    cores = np.minimum(
+        np.maximum(1, np.round(vectors[:, 1] * multicore.cores)),
+        multicore.cores,
+    ).astype(np.int64)
+    tpc_span = max(multicore.threads_per_core - 1, 1)
+    tpc = np.minimum(
+        np.maximum(1, np.round(1 + vectors[:, 2] * tpc_span)),
+        max(1, multicore.threads_per_core),
+    ).astype(np.int64)
+    simd_span = math.log2(max(multicore.simd_width, 2))
+    simd = np.minimum(
+        np.maximum(1, np.round(2.0 ** (vectors[:, 3] * simd_span))),
+        max(1, multicore.simd_width),
+    ).astype(np.int64)
+    blocktime = np.minimum(1000.0, np.maximum(1.0, 10.0 ** (vectors[:, 4] * 3.0)))
+    chunk_frac = np.clip(vectors[:, 10], 0.0, 1.0)
+    chunk = np.maximum(1, np.round(16.0 * (1024.0 / 16.0) ** chunk_frac)).astype(
+        np.int64
+    )
+    schedule_value = vectors[:, 7]
+
+    # GPU knobs (M19-M20) plus their ceiling clamps.
+    gthreads = np.minimum(
+        np.maximum(1, np.round(vectors[:, 8] * gpu.max_threads)),
+        gpu.max_threads,
+    ).astype(np.int64)
+    local_frac = np.clip(vectors[:, 9], 0.0, 1.0)
+    lthreads = np.minimum(
+        np.maximum(1, np.round(32.0 * (1024.0 / 32.0) ** local_frac)), 1024
+    ).astype(np.int64)
+
+    # Per-row fan-out.  Knobs are snapped to a discrete lattice, so many
+    # rows decode to the same configuration; MachineConfig is frozen, so
+    # duplicate rows can share one instance — construction (the dominant
+    # per-row cost) runs once per *unique* decoded config.  tolist() up
+    # front keeps the loop on plain Python scalars.
+    multicore_rows = is_multicore.tolist()
+    schedule_values = schedule_value.tolist()
+    cores_list, tpc_list, simd_list = cores.tolist(), tpc.tolist(), simd.tolist()
+    blocktime_list, chunk_list = blocktime.tolist(), chunk.tolist()
+    placement_list, affinity_list = vectors[:, 5].tolist(), vectors[:, 6].tolist()
+    gthreads_list, lthreads_list = gthreads.tolist(), lthreads.tolist()
+
+    memo: dict[tuple, tuple[AcceleratorSpec, MachineConfig]] = {}
+    decoded: list[tuple[AcceleratorSpec, MachineConfig]] = []
+    for row in range(vectors.shape[0]):
+        if multicore_rows[row]:
+            value = schedule_values[row]
+            if value < 0.25:
+                schedule = OmpSchedule.STATIC
+            elif value < 0.75:
+                schedule = OmpSchedule.DYNAMIC
+            else:
+                schedule = OmpSchedule.GUIDED
+            key = (
+                True,
+                cores_list[row],
+                tpc_list[row],
+                simd_list[row],
+                blocktime_list[row],
+                placement_list[row],
+                affinity_list[row],
+                schedule,
+                chunk_list[row],
+            )
+        else:
+            key = (False, gthreads_list[row], lthreads_list[row])
+        entry = memo.get(key)
+        if entry is None:
+            if key[0]:
+                config = _trusted_config(
+                    accelerator=multicore.name,
+                    cores=cores_list[row],
+                    threads_per_core=tpc_list[row],
+                    simd_width=simd_list[row],
+                    blocktime_ms=blocktime_list[row],
+                    placement_core=placement_list[row],
+                    placement_thread=placement_list[row],
+                    placement_offset=placement_list[row],
+                    affinity=affinity_list[row],
+                    omp_schedule=schedule,
+                    omp_chunk=chunk_list[row],
+                )
+                entry = (multicore, config)
+            else:
+                config = _trusted_config(
+                    accelerator=gpu.name,
+                    gpu_global_threads=gthreads_list[row],
+                    gpu_local_threads=lthreads_list[row],
+                )
+                entry = (gpu, config)
+            memo[key] = entry
+        decoded.append(entry)
+    return decoded
 
 
 def choice_signature(

@@ -19,10 +19,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro import obs
 from repro.accel.simulator import SimulationResult
 from repro.core.database import TrainingDatabase
-from repro.core.encoding import decode_config, encode_features
+from repro.core.encoding import (
+    decode_config,
+    decode_config_batch,
+    encode_features,
+    encode_features_batch,
+)
 from repro.core.overhead import measure_overhead_ms
 from repro.core.predictors import LearnedPredictor, make_predictor
 from repro.core.training import build_training_database
@@ -30,6 +37,7 @@ from repro.errors import NotTrainedError, UnknownAcceleratorError
 from repro.machine.mvars import MachineConfig, default_config
 from repro.machine.specs import DEFAULT_PAIR, AcceleratorSpec, get_accelerator
 from repro.runtime.deploy import Workload, prepare_workload, run_workload
+from repro.runtime.serving import CachedDecision, DecisionCache, feature_key
 from repro.tuning.exhaustive import best_on_accelerator
 
 __all__ = ["HeteroMap", "RunOutcome"]
@@ -73,6 +81,7 @@ class HeteroMap:
         predictor: str = "deep128",
         metric: str = "time",
         seed: int = 0,
+        cache_capacity: int = 4096,
     ) -> None:
         """Configure a HeteroMap instance.
 
@@ -82,6 +91,8 @@ class HeteroMap:
             predictor: learner name (see ``predictor_names()``).
             metric: tuning objective — "time", "energy", or "edp".
             seed: seed for training-set generation and learner init.
+            cache_capacity: decision-cache size for the batched serving
+                path (:meth:`plan_batch`); 0 disables caching.
 
         Raises:
             UnknownAcceleratorError: when the pair is not one GPU plus
@@ -105,6 +116,9 @@ class HeteroMap:
         )
         self.database: TrainingDatabase | None = None
         self._overhead_ms: float | None = None
+        self.decision_cache: DecisionCache | None = (
+            DecisionCache(cache_capacity) if cache_capacity > 0 else None
+        )
 
     @classmethod
     def with_default_pair(cls, **kwargs) -> "HeteroMap":
@@ -145,6 +159,10 @@ class HeteroMap:
                     self.predictor.fit(*database.matrices())
             self._overhead_ms = measure_overhead_ms(self.predictor)
             obs.gauge("heteromap.overhead_ms", self._overhead_ms)
+            if self.decision_cache is not None:
+                # A refit changes predictions; memoized decisions from the
+                # previous model must not survive it.
+                self.decision_cache.clear()
         return database
 
     @property
@@ -200,12 +218,125 @@ class HeteroMap:
             predictor_overhead_ms=self._overhead_ms,
         )
 
+    # -- batched serving ---------------------------------------------------
+
+    def plan_batch(
+        self, workloads: "list[Workload | tuple[str, str]]"
+    ) -> list[tuple[AcceleratorSpec, MachineConfig]]:
+        """Predict deployments for a batch of workloads in one pass.
+
+        Items may be prepared :class:`Workload` objects or raw
+        ``(benchmark, dataset)`` pairs.  The batch is deduped through the
+        decision cache (the discretized feature lattice makes hits exactly
+        equal to fresh predictions); the remaining misses run one batched
+        forward + decode and are fanned back out in input order.
+
+        Raises:
+            NotTrainedError: before :meth:`train`.
+        """
+        prepared = [
+            item if isinstance(item, Workload) else prepare_workload(*item)
+            for item in workloads
+        ]
+        return [(spec, config) for spec, config, _ in self._decide_batch(prepared)]
+
+    def run_many(
+        self, items: "list[Workload | tuple[str, str]]"
+    ) -> list[RunOutcome]:
+        """Schedule and execute a batch of benchmark-input combinations.
+
+        The planning half of :meth:`run` is amortized over the batch via
+        :meth:`plan_batch`'s cache + batched forward; deployment then runs
+        per workload, preserving the per-workload decision-audit records.
+        """
+        workloads = [
+            item if isinstance(item, Workload) else prepare_workload(*item)
+            for item in items
+        ]
+        with obs.span("heteromap.run_many", batch=len(workloads)) as span:
+            decisions = self._decide_batch(workloads)
+            outcomes = []
+            for workload, (spec, config, vector) in zip(workloads, decisions):
+                result = run_workload(workload, spec, config)
+                if obs.enabled():
+                    self._audit_decision(
+                        workload, spec, config, result, vector=vector
+                    )
+                outcomes.append(
+                    RunOutcome(
+                        benchmark=workload.benchmark,
+                        dataset=workload.dataset,
+                        chosen_accelerator=spec.name,
+                        config=config,
+                        result=result,
+                        predictor_overhead_ms=self._overhead_ms,
+                    )
+                )
+            span.set(
+                chosen=",".join(sorted({o.chosen_accelerator for o in outcomes}))
+            )
+        return outcomes
+
+    def _decide_batch(
+        self, workloads: list[Workload]
+    ) -> list[tuple[AcceleratorSpec, MachineConfig, np.ndarray]]:
+        """Cache-dedupe a batch and run one forward pass for the misses.
+
+        Returns one ``(spec, config, predicted_vector)`` triple per input
+        workload, in order.  Equal feature rows inside the batch share a
+        single prediction (first occurrence computes, the rest hit the
+        freshly inserted cache entry or an in-batch memo when the cache is
+        disabled).
+        """
+        if self._overhead_ms is None:
+            raise NotTrainedError("call train() before plan_batch()")
+        features = encode_features_batch(
+            [(w.bvars, w.ivars) for w in workloads]
+        )
+        keys = [feature_key(row) for row in features]
+        cache = self.decision_cache
+        decided: dict[tuple[float, ...], CachedDecision | None] = {}
+        miss_rows: list[int] = []
+        for index, key in enumerate(keys):
+            if key in decided:
+                continue
+            entry = cache.get(key) if cache is not None else None
+            if entry is not None:
+                decided[key] = entry
+            else:
+                miss_rows.append(index)
+                decided[key] = None  # placeholder: computed below
+        if miss_rows:
+            miss_features = features[miss_rows]
+            with obs.span(
+                "heteromap.predict_batch",
+                predictor=self.predictor_name,
+                batch=len(miss_rows),
+            ):
+                vectors = self.predictor.predict_batch(miss_features)
+            decoded = decode_config_batch(vectors, self.gpu, self.multicore)
+            for row, (spec, config), vector in zip(miss_rows, decoded, vectors):
+                entry = CachedDecision(spec=spec, config=config, vector=vector)
+                decided[keys[row]] = entry
+                if cache is not None:
+                    cache.put(keys[row], entry)
+        if obs.enabled():
+            obs.counter("serve.cache_hit", len(workloads) - len(miss_rows))
+            obs.counter("serve.cache_miss", len(miss_rows))
+            obs.histogram("serve.predict_batch_size", len(miss_rows))
+        return [
+            (entry.spec, entry.config, entry.vector)
+            for entry in (decided[key] for key in keys)
+        ]
+
     def _audit_decision(
         self,
         workload: Workload,
         spec: AcceleratorSpec,
         config: MachineConfig,
         result: SimulationResult,
+        *,
+        vector: np.ndarray | None = None,
     ) -> None:
         """Emit the decision-audit record for one scheduled execution.
 
@@ -215,9 +346,14 @@ class HeteroMap:
         the opposite inter-accelerator call — costed under the same
         model.  A positive margin means the scheduler picked the faster
         side of its own prediction.
+
+        The batched path passes the already-predicted ``vector`` so audits
+        on cache hits don't re-run the predictor.
         """
         features = encode_features(workload.bvars, workload.ivars)
-        vector = self.predictor.predict_vector(features).copy()
+        if vector is None:
+            vector = self.predictor.predict_vector(features)
+        vector = np.array(vector, dtype=np.float64, copy=True)
         vector[0] = 0.0 if vector[0] >= 0.5 else 1.0
         other_spec, other_config = decode_config(vector, self.gpu, self.multicore)
         other = run_workload(workload, other_spec, other_config)

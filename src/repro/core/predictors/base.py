@@ -14,7 +14,7 @@ import abc
 
 import numpy as np
 
-from repro.core.encoding import decode_config, encode_features
+from repro.core.encoding import NUM_FEATURES, decode_config, encode_features
 from repro.errors import NotTrainedError, TrainingError
 from repro.features.bvars import BVariables
 from repro.features.ivars import IVariables
@@ -22,6 +22,19 @@ from repro.machine.mvars import MachineConfig
 from repro.machine.specs import AcceleratorSpec
 
 __all__ = ["Predictor", "LearnedPredictor"]
+
+
+def _validate_batch(features: np.ndarray) -> np.ndarray:
+    """Coerce a batch into a float64 ``(n, 17)`` matrix or raise."""
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2 or (
+        features.shape[0] and features.shape[1] != NUM_FEATURES
+    ):
+        raise ValueError(
+            f"predict_batch expects an (n, {NUM_FEATURES}) matrix, got "
+            f"shape {features.shape}"
+        )
+    return features
 
 
 class Predictor(abc.ABC):
@@ -33,6 +46,18 @@ class Predictor(abc.ABC):
     @abc.abstractmethod
     def predict_vector(self, features: np.ndarray) -> np.ndarray:
         """Predict the normalized M target vector for one feature row."""
+
+    def predict_batch(self, features: np.ndarray) -> np.ndarray:
+        """Predict an ``(n, T)`` target matrix for ``(n, 17)`` features.
+
+        Subclasses override this with a natively vectorized pass; the
+        fallback loops :meth:`predict_vector` row by row, so batched and
+        scalar serving always agree on every predictor.
+        """
+        features = _validate_batch(features)
+        if features.shape[0] == 0:
+            return np.empty((0, 0), dtype=np.float64)
+        return np.vstack([self.predict_vector(row) for row in features])
 
     def predict_config(
         self,
@@ -90,3 +115,16 @@ class LearnedPredictor(Predictor):
         batch = features.reshape(1, -1) if single else features
         prediction = np.clip(self._predict(batch), 0.0, 1.0)
         return prediction[0] if single else prediction
+
+    def predict_batch(self, features: np.ndarray) -> np.ndarray:
+        """Native batched inference: every learned model's ``_predict``
+        hook is already a matrix pass (one matmul / forward / descent for
+        the whole batch), so batching costs one call instead of ``n``."""
+        if not self._trained:
+            raise NotTrainedError(
+                f"{self.name or type(self).__name__} queried before fit()"
+            )
+        features = _validate_batch(features)
+        if features.shape[0] == 0:
+            return np.empty((0, 0), dtype=np.float64)
+        return np.clip(self._predict(features), 0.0, 1.0)

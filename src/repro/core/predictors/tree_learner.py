@@ -45,6 +45,13 @@ class CartPredictor(LearnedPredictor):
         self.max_depth = int(max_depth)
         self.min_samples = int(min_samples)
         self._root: _Node | None = None
+        # Flattened tree (built by _flatten) for vectorized batch descent.
+        self._node_feature = np.empty(0, dtype=np.int64)
+        self._node_threshold = np.empty(0, dtype=np.float64)
+        self._node_left = np.empty(0, dtype=np.int64)
+        self._node_right = np.empty(0, dtype=np.int64)
+        self._node_leaf = np.empty(0, dtype=np.int64)
+        self._leaf_values = np.empty((0, 0), dtype=np.float64)
 
     def _build(
         self, features: np.ndarray, targets: np.ndarray, depth: int
@@ -83,18 +90,68 @@ class CartPredictor(LearnedPredictor):
 
     def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
         self._root = self._build(features, targets, depth=0)
+        self._flatten()
 
-    def _predict_row(self, row: np.ndarray) -> np.ndarray:
-        node = self._root
-        assert node is not None
-        while not node.is_leaf:
-            node = node.left if row[node.feature] <= node.threshold else node.right
-            assert node is not None
-        assert node.value is not None
-        return node.value
+    def _flatten(self) -> None:
+        """Lower the node tree into parallel arrays for vectorized descent.
+
+        ``_node_feature[i]``/``_node_threshold[i]`` describe split node
+        ``i``; ``_node_left``/``_node_right`` hold child indices; leaves
+        carry ``_node_feature == -1`` and index their payload row in
+        ``_leaf_values`` via ``_node_leaf``.
+        """
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        leaf: list[int] = []
+        leaf_values: list[np.ndarray] = []
+
+        def visit(node: _Node) -> int:
+            index = len(feature)
+            feature.append(node.feature)
+            threshold.append(node.threshold)
+            left.append(-1)
+            right.append(-1)
+            leaf.append(-1)
+            if node.is_leaf:
+                feature[index] = -1
+                leaf[index] = len(leaf_values)
+                assert node.value is not None
+                leaf_values.append(node.value)
+            else:
+                assert node.left is not None and node.right is not None
+                left[index] = visit(node.left)
+                right[index] = visit(node.right)
+            return index
+
+        assert self._root is not None
+        visit(self._root)
+        self._node_feature = np.asarray(feature, dtype=np.int64)
+        self._node_threshold = np.asarray(threshold, dtype=np.float64)
+        self._node_left = np.asarray(left, dtype=np.int64)
+        self._node_right = np.asarray(right, dtype=np.int64)
+        self._node_leaf = np.asarray(leaf, dtype=np.int64)
+        self._leaf_values = np.vstack(leaf_values)
 
     def _predict(self, features: np.ndarray) -> np.ndarray:
-        return np.vstack([self._predict_row(row) for row in features])
+        """Vectorized descent: all rows walk the tree in lockstep, one
+        gather + comparison per tree level instead of a Python loop per
+        row.  Comparisons and leaf payloads are identical to a node walk,
+        so batched and scalar predictions are bit-identical."""
+        node = np.zeros(features.shape[0], dtype=np.int64)
+        active = np.flatnonzero(self._node_feature[node] >= 0)
+        while active.size:
+            current = node[active]
+            split_feature = self._node_feature[current]
+            go_left = (
+                features[active, split_feature] <= self._node_threshold[current]
+            )
+            node[active] = np.where(
+                go_left, self._node_left[current], self._node_right[current]
+            )
+            active = active[self._node_feature[node[active]] >= 0]
+        return self._leaf_values[self._node_leaf[node]]
 
     def depth(self) -> int:
         """Actual tree depth after fitting (0 for a single leaf)."""

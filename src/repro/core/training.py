@@ -55,12 +55,28 @@ def label_sample(
     return features, target, best_result.objective(metric)
 
 
-def _label_sample_task(
-    args: tuple[SyntheticSample, AcceleratorSpec, AcceleratorSpec, str],
-) -> tuple[np.ndarray, np.ndarray, float]:
-    """Picklable worker wrapper for :func:`label_sample`."""
-    sample, gpu, multicore, metric = args
-    return label_sample(sample, gpu, multicore, metric=metric)
+#: Parallel labeling only pays off once every worker process amortizes its
+#: spawn/import cost over enough lattice sweeps; below this many samples
+#: per worker the serial path wins (and is trivially byte-identical), so
+#: small builds fall through to it.
+_MIN_SAMPLES_PER_WORKER = 32
+
+#: Chunks dispatched per worker.  A few chunks per worker balances load
+#: (sweep time varies with the sampled lattice) without returning to the
+#: one-task-per-sample IPC overhead that made the old dispatch slower
+#: than serial.
+_CHUNKS_PER_WORKER = 4
+
+
+def _label_chunk_task(
+    args: tuple[list[SyntheticSample], AcceleratorSpec, AcceleratorSpec, str],
+) -> list[tuple[np.ndarray, np.ndarray, float]]:
+    """Picklable worker wrapper labeling one chunk of samples."""
+    samples, gpu, multicore, metric = args
+    return [
+        label_sample(sample, gpu, multicore, metric=metric)
+        for sample in samples
+    ]
 
 
 def build_training_database(
@@ -82,7 +98,10 @@ def build_training_database(
         workers: worker processes to label samples with.  Labeling is a
             pure function of the (pre-generated) sample list and results
             are collected in sample order, so any worker count produces a
-            byte-identical database for the same seed.
+            byte-identical database for the same seed.  Samples are
+            dispatched in contiguous chunks (a few per worker), and
+            builds too small to amortize process startup
+            (< ``workers × 32`` samples) take the serial path outright.
     """
     with obs.span(
         "training.build_database",
@@ -93,13 +112,19 @@ def build_training_database(
     ):
         database = TrainingDatabase(pair=(gpu.name, multicore.name), metric=metric)
         samples = generate_samples(num_samples, seed=seed)
-        if workers > 1 and len(samples) > 1:
-            tasks = [(sample, gpu, multicore, metric) for sample in samples]
-            chunksize = max(1, len(tasks) // (workers * 4))
+        if workers > 1 and len(samples) >= workers * _MIN_SAMPLES_PER_WORKER:
+            chunk_size = -(-len(samples) // (workers * _CHUNKS_PER_WORKER))
+            chunks = [
+                samples[start : start + chunk_size]
+                for start in range(0, len(samples), chunk_size)
+            ]
+            tasks = [(chunk, gpu, multicore, metric) for chunk in chunks]
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                rows = list(
-                    pool.map(_label_sample_task, tasks, chunksize=chunksize)
-                )
+                rows = [
+                    row
+                    for chunk_rows in pool.map(_label_chunk_task, tasks)
+                    for row in chunk_rows
+                ]
         else:
             rows = [
                 label_sample(sample, gpu, multicore, metric=metric)

@@ -103,11 +103,21 @@ class CSRGraph:
         return self.weights[self.indptr[vertex] : self.indptr[vertex + 1]]
 
     def edges(self) -> np.ndarray:
-        """All edges as an ``(num_edges, 2)`` array of (source, destination)."""
-        sources = np.repeat(
-            np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
-        )
-        return np.column_stack([sources, self.indices])
+        """All edges as an ``(num_edges, 2)`` array of (source, destination).
+
+        The array is built once and cached (``reverse()``, symmetrization,
+        and several kernels all call this); it is non-writeable like the
+        CSR arrays, so sharing it cannot break immutability.
+        """
+        cached = self.__dict__.get("_edges_cache")
+        if cached is None:
+            sources = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
+            )
+            cached = np.column_stack([sources, self.indices])
+            cached.setflags(write=False)
+            object.__setattr__(self, "_edges_cache", cached)
+        return cached
 
     def reverse(self) -> "CSRGraph":
         """The transpose graph (every edge direction flipped)."""

@@ -52,8 +52,11 @@ class PageRank(Kernel):
         for _ in range(max_iterations):
             iterations += 1
             contrib = ranks / safe_degree
-            incoming = np.zeros(num_vertices)
-            np.add.at(incoming, dests, contrib[sources])
+            # bincount is the fast path for this scatter-add; np.add.at is
+            # an order of magnitude slower on large edge lists.
+            incoming = np.bincount(
+                dests, weights=contrib[sources], minlength=num_vertices
+            )
             dangling_mass = ranks[dangling].sum() / num_vertices
             new_ranks = (
                 (1.0 - damping) / num_vertices

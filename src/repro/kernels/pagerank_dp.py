@@ -70,7 +70,11 @@ class PageRankDelta(Kernel):
                     [indices[s:e] for s, e in zip(starts, ends) if e > s]
                 )
                 weights_rep = np.repeat(contrib, degs)
-                np.add.at(new_deltas, gather, weights_rep)
+                # bincount replaces the np.add.at scatter (same semantics
+                # for repeated destinations, an order of magnitude faster).
+                new_deltas = np.bincount(
+                    gather, weights=weights_rep, minlength=num_vertices
+                )
             ranks = ranks + new_deltas
             deltas = new_deltas
             active = np.flatnonzero(np.abs(deltas) > active_threshold)

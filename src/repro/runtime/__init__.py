@@ -1,6 +1,7 @@
 """Runtime: workload deployment, trace caching, chunked streaming."""
 
 from repro.runtime.deploy import Workload, prepare_workload, run_workload
+from repro.runtime.serving import CachedDecision, CacheStats, DecisionCache, feature_key
 from repro.runtime.streaming import (
     StreamingRunResult,
     streaming_degree_sum,
@@ -9,10 +10,14 @@ from repro.runtime.streaming import (
 from repro.runtime.trace_cache import cache_dir, clear_cache, load_trace, store_trace
 
 __all__ = [
+    "CachedDecision",
+    "CacheStats",
+    "DecisionCache",
     "StreamingRunResult",
     "Workload",
     "cache_dir",
     "clear_cache",
+    "feature_key",
     "load_trace",
     "prepare_workload",
     "run_workload",

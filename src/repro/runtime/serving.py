@@ -1,0 +1,130 @@
+"""Batched prediction serving: the exact LRU decision cache.
+
+The online path traditionally handles one workload per call — every
+request pays a full featurize/forward/decode round-trip.  Two structural
+facts make a much cheaper serving path possible:
+
+1. Every predictor is a NumPy model, so a batch of feature rows costs one
+   matrix pass instead of ``n`` scalar passes
+   (:meth:`repro.core.predictors.base.Predictor.predict_batch`).
+2. The (B, I) feature space is *discretized* (Section III's 0.1-step
+   lattice), so two workloads with equal feature tuples are
+   indistinguishable to the predictor — the full decision (accelerator,
+   config, predicted M vector) can be memoized **exactly**.  A cache hit
+   is bit-identical to a fresh prediction, not an approximation.
+
+:class:`DecisionCache` is that memo: an LRU map from the feature tuple to
+the decoded deployment plus the raw predicted vector (kept for
+decision-audit records on hits).  :meth:`HeteroMap.plan_batch` dedupes a
+batch through it, runs one batched forward for the misses, and fans the
+results back out.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.mvars import MachineConfig
+from repro.machine.specs import AcceleratorSpec
+
+__all__ = ["CacheStats", "CachedDecision", "DecisionCache", "feature_key"]
+
+#: Default number of distinct feature tuples retained.  The discretized
+#: lattice is finite but large; 4096 entries comfortably covers the
+#: benchmark×dataset cross product many times over.
+DEFAULT_CAPACITY = 4096
+
+
+def feature_key(features: np.ndarray) -> tuple[float, ...]:
+    """Canonical cache key for one 17-element feature row.
+
+    Feature rows are already discretized, so equal workloads produce
+    float-equal rows and the plain tuple is an exact key (no rounding or
+    hashing tricks needed).  ``tolist()`` is the fast path — this runs
+    once per lookup on the serving hot path.
+    """
+    if isinstance(features, np.ndarray):
+        return tuple(features.tolist())
+    return tuple(float(value) for value in features)
+
+
+@dataclass(frozen=True)
+class CachedDecision:
+    """One memoized prediction: the decoded deployment + raw M vector."""
+
+    spec: AcceleratorSpec
+    config: MachineConfig
+    vector: np.ndarray  # read-only copy of the predicted target vector
+
+    def __post_init__(self) -> None:
+        vector = np.array(self.vector, dtype=np.float64, copy=True)
+        vector.setflags(write=False)
+        object.__setattr__(self, "vector", vector)
+
+
+@dataclass
+class CacheStats:
+    """Monotonic hit/miss/eviction counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of :meth:`DecisionCache.get` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class DecisionCache:
+    """Exact LRU cache from discretized feature tuples to decisions.
+
+    Least-recently-*used* eviction: both hits and inserts refresh an
+    entry's recency, so hot workloads survive sweeps of one-off requests.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[tuple[float, ...], CachedDecision] = (
+            OrderedDict()
+        )
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[float, ...]) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple[float, ...]) -> CachedDecision | None:
+        """Look up a decision, refreshing its recency on a hit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: tuple[float, ...], entry: CachedDecision) -> None:
+        """Insert (or refresh) a decision, evicting the LRU entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept — they are monotonic)."""
+        self._entries.clear()

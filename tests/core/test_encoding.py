@@ -13,8 +13,10 @@ from repro.core.encoding import (
     TARGET_NAMES,
     choice_signature,
     decode_config,
+    decode_config_batch,
     encode_config,
     encode_features,
+    encode_features_batch,
 )
 from repro.features.bvars import BVariables
 from repro.features.ivars import IVariables
@@ -136,3 +138,53 @@ def test_property_decode_always_valid(values):
     else:
         assert 1 <= config.cores <= PHI.cores
         assert 1 <= config.threads_per_core <= PHI.threads_per_core
+
+
+class TestBatchEncoding:
+    """The batched encode/decode paths must agree with the scalar ones
+    bit-for-bit — the serving cache's exactness depends on it."""
+
+    def _pairs(self, count=24, seed=3):
+        rng = np.random.default_rng(seed)
+        pairs = []
+        for _ in range(count):
+            values = np.round(rng.random(13), 1)
+            total = values[:5].sum() or 1.0
+            values[:5] /= total
+            bvars = BVariables(*[float(v) for v in values])
+            ivars = IVariables(*[float(v) for v in np.round(rng.random(4), 1)])
+            pairs.append((bvars, ivars))
+        return pairs
+
+    def test_encode_batch_matches_stacked_scalar(self):
+        pairs = self._pairs()
+        batch = encode_features_batch(pairs)
+        stacked = np.vstack([encode_features(b, i) for b, i in pairs])
+        assert batch.shape == (len(pairs), NUM_FEATURES)
+        assert np.array_equal(batch, stacked)
+
+    def test_encode_batch_empty(self):
+        assert encode_features_batch([]).shape == (0, NUM_FEATURES)
+
+    def test_decode_batch_matches_looped_scalar(self):
+        vectors = np.random.default_rng(9).random((50, NUM_TARGETS))
+        decoded = decode_config_batch(vectors, GPU, PHI)
+        for vector, (spec, config) in zip(vectors, decoded):
+            scalar_spec, scalar_config = decode_config(vector, GPU, PHI)
+            assert spec is scalar_spec
+            assert config == scalar_config
+
+    def test_decode_batch_empty(self):
+        assert decode_config_batch(np.empty((0, NUM_TARGETS)), GPU, PHI) == []
+
+    def test_decode_batch_validates_shape(self):
+        with pytest.raises(ValueError):
+            decode_config_batch(np.zeros((3, NUM_TARGETS - 1)), GPU, PHI)
+        with pytest.raises(ValueError):
+            decode_config_batch(np.zeros(NUM_TARGETS), GPU, PHI)
+
+    def test_duplicate_rows_share_one_config_instance(self):
+        """Identical rows decode to one shared (frozen) MachineConfig."""
+        vectors = np.tile(np.full(NUM_TARGETS, 0.4), (3, 1))
+        decoded = decode_config_batch(vectors, GPU, PHI)
+        assert decoded[0][1] is decoded[1][1] is decoded[2][1]

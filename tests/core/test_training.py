@@ -124,3 +124,19 @@ class TestDatabasePersistence:
         db = TrainingDatabase(pair=("a", "b"))
         db.add(np.zeros(NUM_FEATURES), np.zeros(NUM_TARGETS), 1.0)
         assert len(db) == 1
+
+
+class TestChunkedDispatch:
+    def test_chunked_parallel_path_byte_identical(self, tmp_path, monkeypatch):
+        """Force the real chunked pool dispatch (the 6-sample default would
+        fall back to serial) and pin byte-identity against the serial path."""
+        from repro.core import training
+
+        monkeypatch.setattr(training, "_MIN_SAMPLES_PER_WORKER", 3)
+        serial = build_training_database(GPU, PHI, num_samples=8, seed=9, workers=1)
+        chunked = build_training_database(GPU, PHI, num_samples=8, seed=9, workers=2)
+        serial.save(tmp_path / "serial.json")
+        chunked.save(tmp_path / "chunked.json")
+        assert (tmp_path / "serial.json").read_bytes() == (
+            tmp_path / "chunked.json"
+        ).read_bytes()

@@ -191,3 +191,22 @@ def test_property_reverse_preserves_degree_sum(n, m, seed):
     assert rev.num_edges == graph.num_edges
     in_deg = np.bincount(graph.indices, minlength=n)
     assert np.array_equal(np.asarray(rev.out_degree()), in_deg)
+
+
+class TestEdgesCache:
+    def test_repeated_calls_share_one_array(self, diamond_graph):
+        first = diamond_graph.edges()
+        assert diamond_graph.edges() is first
+
+    def test_edges_not_writeable(self, diamond_graph):
+        edges = diamond_graph.edges()
+        assert not edges.flags.writeable
+        with pytest.raises(ValueError):
+            edges[0, 0] = 99
+
+    def test_cached_contents_match_csr_expansion(self):
+        g = _graph([(0, 1), (0, 2), (1, 2), (2, 0)], 3)
+        edges = g.edges()
+        expected = np.repeat(np.arange(3), np.diff(g.indptr))
+        assert np.array_equal(edges[:, 0], expected)
+        assert np.array_equal(edges[:, 1], g.indices)

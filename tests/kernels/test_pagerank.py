@@ -99,3 +99,46 @@ class TestPageRankDelta:
 
         with pytest.raises(GraphError):
             PageRankDelta().run(empty_graph(0))
+
+
+class TestScatterEquivalence:
+    """The bincount scatter-add must keep the semantics of the np.add.at
+    formulation it replaced — including repeated destinations, vertices
+    with no incoming edges, and the delta kernel's gather/repeat shape."""
+
+    def test_bincount_matches_add_at_on_graph(self, random_graph):
+        edges = random_graph.edges()
+        sources, dests = edges[:, 0], edges[:, 1]
+        contrib = np.random.default_rng(13).random(random_graph.num_vertices)
+        reference = np.zeros(random_graph.num_vertices)
+        np.add.at(reference, dests, contrib[sources])
+        fast = np.bincount(
+            dests, weights=contrib[sources],
+            minlength=random_graph.num_vertices,
+        )
+        assert fast.shape == reference.shape
+        assert np.allclose(fast, reference, rtol=0.0, atol=1e-12)
+
+    def test_repeated_destinations_accumulate(self):
+        dests = np.array([2, 2, 2, 0], dtype=np.int64)
+        weights = np.array([0.25, 0.25, 0.5, 1.0])
+        out = np.bincount(dests, weights=weights, minlength=5)
+        assert out.tolist() == [1.0, 0.0, 1.0, 0.0, 0.0]
+
+    def test_delta_gather_matches_add_at(self, random_graph):
+        indptr, indices = random_graph.indptr, random_graph.indices
+        rng = np.random.default_rng(21)
+        active = np.flatnonzero(rng.random(random_graph.num_vertices) < 0.4)
+        contrib = rng.random(active.size)
+        starts, ends = indptr[active], indptr[active + 1]
+        degs = ends - starts
+        gather = np.concatenate(
+            [indices[s:e] for s, e in zip(starts, ends) if e > s]
+        )
+        weights_rep = np.repeat(contrib, degs)
+        reference = np.zeros(random_graph.num_vertices)
+        np.add.at(reference, gather, weights_rep)
+        fast = np.bincount(
+            gather, weights=weights_rep, minlength=random_graph.num_vertices
+        )
+        assert np.allclose(fast, reference, rtol=0.0, atol=1e-12)

@@ -1,0 +1,196 @@
+"""Tests for the exact LRU decision cache and the batched serving path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.heteromap import HeteroMap
+from repro.errors import NotTrainedError
+from repro.machine.mvars import MachineConfig
+from repro.machine.specs import get_accelerator
+from repro.obs.config import ObsConfig
+from repro.runtime.deploy import prepare_workload
+from repro.runtime.serving import CachedDecision, DecisionCache, feature_key
+
+GPU = get_accelerator("gtx750ti")
+PHI = get_accelerator("xeonphi7120p")
+
+
+def _entry(tag: int) -> CachedDecision:
+    return CachedDecision(
+        spec=PHI,
+        config=MachineConfig(accelerator=PHI.name, cores=1 + tag),
+        vector=np.full(11, 0.1 * tag),
+    )
+
+
+class TestFeatureKey:
+    def test_array_and_sequence_agree(self):
+        row = np.array([0.1, 0.2, 0.3])
+        assert feature_key(row) == feature_key([0.1, 0.2, 0.3])
+
+    def test_equal_rows_equal_keys(self):
+        a = np.round(np.random.default_rng(0).random(17), 1)
+        assert feature_key(a) == feature_key(a.copy())
+
+
+class TestDecisionCache:
+    def test_miss_then_hit(self):
+        cache = DecisionCache(capacity=4)
+        key = (0.1, 0.2)
+        assert cache.get(key) is None
+        entry = _entry(1)
+        cache.put(key, entry)
+        assert cache.get(key) is entry
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_ratio == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = DecisionCache(capacity=2)
+        cache.put(("a",), _entry(1))
+        cache.put(("b",), _entry(2))
+        # Touch "a" so "b" becomes least-recently-used.
+        assert cache.get(("a",)) is not None
+        cache.put(("c",), _entry(3))
+        assert ("b",) not in cache
+        assert ("a",) in cache and ("c",) in cache
+        assert cache.stats.evictions == 1
+
+    def test_reinsert_refreshes_recency(self):
+        cache = DecisionCache(capacity=2)
+        cache.put(("a",), _entry(1))
+        cache.put(("b",), _entry(2))
+        cache.put(("a",), _entry(4))  # refresh, not duplicate
+        cache.put(("c",), _entry(3))
+        assert ("b",) not in cache
+        assert cache.get(("a",)).config.cores == 5
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            DecisionCache(capacity=0)
+
+    def test_clear_keeps_stats(self):
+        cache = DecisionCache(capacity=2)
+        cache.put(("a",), _entry(1))
+        cache.get(("a",))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_cached_vector_read_only(self):
+        entry = _entry(2)
+        with pytest.raises(ValueError):
+            entry.vector[0] = 9.9
+
+
+@pytest.fixture(scope="module")
+def trained():
+    hetero = HeteroMap.with_default_pair(predictor="cart", seed=5)
+    hetero.train(num_samples=40, seed=5)
+    return hetero
+
+
+ITEMS = [
+    ("pagerank", "facebook"),
+    ("bfs", "facebook"),
+    ("pagerank", "facebook"),  # duplicate: shares a cache entry
+    ("sssp_bf", "usa-cal"),
+]
+
+
+class TestPlanBatch:
+    def test_requires_training(self):
+        hetero = HeteroMap.with_default_pair(predictor="deep16")
+        with pytest.raises(NotTrainedError):
+            hetero.plan_batch([("bfs", "facebook")])
+
+    def test_accepts_pairs_and_workloads(self, trained):
+        workload = prepare_workload("bfs", "facebook")
+        plans = trained.plan_batch([("bfs", "facebook"), workload])
+        assert len(plans) == 2
+        assert plans[0][0] is plans[1][0]
+        assert plans[0][1] == plans[1][1]
+
+    def test_matches_scalar_predict(self, trained):
+        """Batched plans equal the scalar online path's decisions."""
+        workloads = [prepare_workload(b, d) for b, d in ITEMS]
+        plans = trained.plan_batch(workloads)
+        for workload, (spec, config) in zip(workloads, plans):
+            scalar_spec, scalar_config = trained.predict(workload)
+            assert spec is scalar_spec
+            assert config == scalar_config
+
+    def test_cache_hits_bit_identical(self, trained):
+        """A cache hit returns the identical decision, not a recompute."""
+        trained.decision_cache.clear()
+        first = trained.plan_batch(ITEMS)
+        misses = trained.decision_cache.stats.misses
+        second = trained.plan_batch(ITEMS)
+        assert trained.decision_cache.stats.misses == misses  # all hits
+        for (spec_a, config_a), (spec_b, config_b) in zip(first, second):
+            assert spec_a is spec_b
+            assert config_a == config_b
+
+    def test_duplicate_items_share_one_prediction(self, trained):
+        trained.decision_cache.clear()
+        before = trained.decision_cache.stats.misses
+        trained.plan_batch(ITEMS)
+        # Four items, one duplicate pair -> only three misses.
+        assert trained.decision_cache.stats.misses - before == 3
+
+    def test_train_clears_cache(self):
+        hetero = HeteroMap.with_default_pair(predictor="cart", seed=6)
+        hetero.train(num_samples=30, seed=6)
+        hetero.plan_batch(ITEMS)
+        assert len(hetero.decision_cache) > 0
+        hetero.train(num_samples=30, seed=7)
+        assert len(hetero.decision_cache) == 0
+
+    def test_cache_disabled(self):
+        hetero = HeteroMap.with_default_pair(
+            predictor="decision_tree", cache_capacity=0
+        )
+        hetero.train(num_samples=1, seed=0)
+        assert hetero.decision_cache is None
+        plans = hetero.plan_batch(ITEMS)
+        assert len(plans) == len(ITEMS)
+        # Duplicates still agree via the in-batch memo.
+        assert plans[0][1] == plans[2][1]
+
+
+class TestRunMany:
+    def test_equivalent_to_looped_run(self, trained):
+        batched = trained.run_many(ITEMS)
+        for (benchmark, dataset), outcome in zip(ITEMS, batched):
+            single = trained.run(benchmark, dataset)
+            assert outcome.benchmark == single.benchmark
+            assert outcome.dataset == single.dataset
+            assert outcome.chosen_accelerator == single.chosen_accelerator
+            assert outcome.config == single.config
+            assert outcome.result.time_ms == single.result.time_ms
+            assert outcome.completion_time_ms == single.completion_time_ms
+
+    def test_emits_audit_records_per_workload(self, trained):
+        obs.configure(ObsConfig(enabled=True))
+        try:
+            obs.state().decisions.clear()
+            trained.run_many(ITEMS)
+            records = list(obs.state().decisions)
+            assert len(records) == len(ITEMS)
+            assert [r.benchmark for r in records] == [b for b, _ in ITEMS]
+        finally:
+            obs.configure(ObsConfig(enabled=False))
+
+    def test_serving_counters(self, trained):
+        trained.decision_cache.clear()
+        obs.configure(ObsConfig(enabled=True))
+        try:
+            trained.run_many(ITEMS)
+            snapshot = obs.prometheus_text()
+            assert "serve_cache_miss" in snapshot
+            assert "serve_cache_hit" in snapshot
+        finally:
+            obs.configure(ObsConfig(enabled=False))

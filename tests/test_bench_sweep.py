@@ -67,3 +67,35 @@ class TestRegressionCheck:
 
     def test_missing_sections_ignored(self):
         assert check_regressions({}, {"lattice_sweep": {}}) == []
+
+
+class TestSectionSelection:
+    def test_partial_run_merges_over_baseline(self, tmp_path):
+        rc, output = run_main(tmp_path, "--sections", "lattice_sweep", "db_build")
+        assert rc == 0
+        payload = json.loads(output.read_text())
+        assert "predict_throughput" not in payload
+        # Mark the section a partial rerun must NOT touch.
+        payload["lattice_sweep"]["sentinel"] = 123
+        output.write_text(json.dumps(payload))
+
+        rc, output = run_main(tmp_path, "--sections", "db_build", "--force")
+        assert rc == 0
+        merged = json.loads(output.read_text())
+        assert merged["lattice_sweep"]["sentinel"] == 123
+        assert merged["db_build"]["num_samples"] == 2
+
+    def test_predict_throughput_payload(self, tmp_path):
+        rc, output = run_main(
+            tmp_path, "--sections", "predict_throughput", "--batch-size", "32"
+        )
+        assert rc == 0
+        payload = json.loads(output.read_text())
+        assert "lattice_sweep" not in payload
+        section = payload["predict_throughput"]
+        assert section["batch_size"] == 32
+        for name in ("deep128", "decision_tree", "cart"):
+            assert section[f"{name}_scalar_per_sec"] > 0
+            assert section[f"{name}_batched_per_sec"] > 0
+            assert section[f"{name}_cached_per_sec"] > 0
+            assert section[f"{name}_batch_speedup"] > 0
