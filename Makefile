@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-force bench-serve fuzz fuzz-deep obs-report
+.PHONY: test bench bench-force bench-serve bench-scheduler fuzz fuzz-deep obs-report
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,6 +27,11 @@ bench-force:
 # predictions/sec); other sections keep their existing baseline numbers.
 bench-serve:
 	$(PYTHON) benchmarks/bench_sweep.py --sections predict_throughput
+
+# Only the fleet-scheduler section: per-policy batch makespans (solo vs
+# load-aware vs makespan) plus end-to-end run_fleet throughput.
+bench-scheduler:
+	$(PYTHON) benchmarks/bench_sweep.py --sections scheduler
 
 # Summarize the REPRO_OBS=jsonl event stream (repro_obs.jsonl by default):
 # top spans, trace-cache hit ratios, and the predictor decision-audit table.

@@ -10,7 +10,10 @@ Measures the hot paths the batch evaluator exists for and records them to
   serial (``workers=1``) and parallel (``workers=N``),
 * online prediction serving — scalar predict+decode loop vs one batched
   forward+decode vs warm decision-cache lookups, in predictions/sec, for
-  the deep128 flagship and the tree baselines.
+  the deep128 flagship and the tree baselines,
+* fleet scheduling — batch makespan of a mixed workload batch under the
+  engine's ``solo`` / ``load-aware`` / ``makespan`` placement policies,
+  plus end-to-end fleet throughput in items/sec.
 
 The harness refuses to overwrite an existing baseline with a >25%
 regression on any tracked throughput metric unless ``--force`` is passed,
@@ -36,6 +39,7 @@ from repro.core.training import build_training_database
 from repro.ioutil import atomic_write_text
 from repro.machine.space import iter_configs
 from repro.machine.specs import DEFAULT_PAIR, AcceleratorSpec, get_accelerator
+from repro.runtime.deploy import prepare_workload
 from repro.runtime.serving import CachedDecision, DecisionCache, feature_key
 from repro.workload.phases import PhaseKind
 from repro.workload.profile import (
@@ -54,7 +58,7 @@ REGRESSION_TOLERANCE = 0.25  # refuse to record a >25% throughput drop
 
 #: Sections ``run_bench`` knows how to produce; ``--sections`` selects a
 #: subset, whose payload is merged over the existing baseline.
-SECTION_NAMES = ("lattice_sweep", "db_build", "predict_throughput")
+SECTION_NAMES = ("lattice_sweep", "db_build", "predict_throughput", "scheduler")
 
 #: Predictors the serving bench times: the deep128 flagship plus both
 #: tree baselines (analytical + learned CART).
@@ -71,6 +75,7 @@ _GATED_METRICS = (
     ("predict_throughput", "deep128_scalar_per_sec"),
     ("predict_throughput", "deep128_batched_per_sec"),
     ("predict_throughput", "deep128_cached_per_sec"),
+    ("scheduler", "fleet_items_per_sec"),
 )
 
 
@@ -246,6 +251,64 @@ def bench_predict_throughput(
     return results
 
 
+#: The mixed batch the scheduler bench places: frontier + relaxation +
+#: all-vertex kernels over small / mid datasets, repeated so the fleet
+#: has real queues to balance.
+_SCHEDULER_BATCH = (
+    ("pagerank", "facebook"),
+    ("bfs", "cage14"),
+    ("sssp_bf", "usa-cal"),
+    ("connected_components", "facebook"),
+    ("pagerank", "cage14"),
+    ("sssp_delta", "usa-cal"),
+) * 2
+
+
+def bench_scheduler(
+    pair: tuple[str, str],
+    *,
+    train_samples: int = 32,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Compare the fleet placement policies on one mixed batch.
+
+    Records the batch makespan under each policy (``solo`` is the serial
+    baseline, so ``<policy>_speedup`` is solo-makespan over that
+    policy's makespan) plus end-to-end ``run_fleet`` throughput for the
+    load-aware policy (decide + place + execute, warm caches).
+    """
+    from repro.core.heteromap import HeteroMap
+    from repro.runtime.engine import POLICIES
+
+    hetero = HeteroMap(pair, predictor="cart", seed=seed)
+    hetero.train(num_samples=train_samples, seed=seed)
+    workloads = [prepare_workload(b, d) for b, d in _SCHEDULER_BATCH]
+
+    results: dict[str, float] = {
+        "pair": list(pair),
+        "batch": len(workloads),
+        "train_samples": train_samples,
+    }
+    reports = {
+        policy: hetero.run_fleet(workloads, policy=policy)
+        for policy in POLICIES
+    }
+    solo_makespan = reports["solo"].makespan_ms
+    for policy, report in reports.items():
+        key = policy.replace("-", "_")
+        results[f"{key}_makespan_ms"] = report.makespan_ms
+        results[f"{key}_speedup"] = (
+            solo_makespan / report.makespan_ms if report.makespan_ms else 1.0
+        )
+    fleet_s = min(
+        _timed(lambda: hetero.run_fleet(workloads, policy="load-aware"))
+        for _ in range(max(1, repeats))
+    )
+    results["fleet_items_per_sec"] = len(workloads) / fleet_s
+    return results
+
+
 def _timed(fn) -> float:
     start = time.perf_counter()
     fn()
@@ -283,6 +346,8 @@ def run_bench(
         payload["predict_throughput"] = bench_predict_throughput(
             pair, batch_size=batch_size, repeats=repeats, seed=seed
         )
+    if "scheduler" in sections:
+        payload["scheduler"] = bench_scheduler(pair, repeats=repeats, seed=seed)
     return payload
 
 
@@ -396,6 +461,18 @@ def main(argv: list[str] | None = None) -> int:
                 batch_speedup=round(serve[f"{name}_batch_speedup"], 1),
                 cache_speedup=round(serve[f"{name}_cache_speedup"], 1),
             )
+
+    if "scheduler" in payload:
+        sched = payload["scheduler"]
+        log.info(
+            "scheduler",
+            batch=sched["batch"],
+            solo_makespan_ms=round(sched["solo_makespan_ms"], 1),
+            load_aware_makespan_ms=round(sched["load_aware_makespan_ms"], 1),
+            makespan_makespan_ms=round(sched["makespan_makespan_ms"], 1),
+            load_aware_speedup=round(sched["load_aware_speedup"], 2),
+            fleet_items_per_s=round(sched["fleet_items_per_sec"], 1),
+        )
 
     output = Path(args.output)
     old = {}

@@ -11,64 +11,55 @@ the deployment plumbing:
    reports the completion time *including* the predictor's measured
    inference overhead (the paper's accounting).
 
+The online path is a thin composition over the layered fleet runtime in
+:mod:`repro.runtime.engine`: a
+:class:`~repro.runtime.engine.decision.DecisionService` (cached batched
+prediction, costed on both accelerators), a
+:class:`~repro.runtime.engine.scheduler.Scheduler` (``solo`` /
+``load-aware`` / ``makespan`` placement policies), and a pluggable
+:class:`~repro.runtime.engine.execution.ExecutionBackend`.
+:meth:`run_many` keeps the historical list-of-outcomes API (its default
+``solo`` policy is bit-identical to the pre-engine serial path);
+:meth:`run_fleet` returns the full
+:class:`~repro.runtime.engine.contracts.FleetReport` with per-device
+utilization and the batch makespan.
+
 Baselines (:meth:`run_single_accelerator`, :meth:`run_ideal`) reproduce
 the GPU-only / multicore-only / manually-tuned comparisons of Section VII.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
+from typing import Iterable
 
 from repro import obs
 from repro.accel.simulator import SimulationResult
 from repro.core.database import TrainingDatabase
-from repro.core.encoding import (
-    decode_config,
-    decode_config_batch,
-    encode_features,
-    encode_features_batch,
-)
 from repro.core.overhead import measure_overhead_ms
 from repro.core.predictors import LearnedPredictor, make_predictor
 from repro.core.training import build_training_database
 from repro.errors import NotTrainedError, UnknownAcceleratorError
 from repro.machine.mvars import MachineConfig, default_config
 from repro.machine.specs import DEFAULT_PAIR, AcceleratorSpec, get_accelerator
-from repro.runtime.deploy import Workload, prepare_workload, run_workload
-from repro.runtime.serving import CachedDecision, DecisionCache, feature_key
+from repro.runtime.deploy import (
+    Workload,
+    WorkloadLike,
+    prepare_workload,
+    prepare_workloads,
+    run_workload,
+)
+from repro.runtime.engine import (
+    DecisionService,
+    Engine,
+    ExecutionBackend,
+    FleetReport,
+    RunOutcome,
+    Scheduler,
+)
+from repro.runtime.serving import DecisionCache, capacity_from_env
 from repro.tuning.exhaustive import best_on_accelerator
 
 __all__ = ["HeteroMap", "RunOutcome"]
-
-
-@dataclass(frozen=True)
-class RunOutcome:
-    """Result of one HeteroMap-scheduled execution."""
-
-    benchmark: str
-    dataset: str
-    chosen_accelerator: str
-    config: MachineConfig
-    result: SimulationResult
-    predictor_overhead_ms: float
-
-    @property
-    def completion_time_ms(self) -> float:
-        """On-accelerator time plus the predictor's inference overhead —
-        the paper's completion-time metric."""
-        return self.result.time_ms + self.predictor_overhead_ms
-
-    @property
-    def energy_j(self) -> float:
-        """Energy of the deployed run in joules."""
-        return self.result.energy_j
-
-    @property
-    def utilization(self) -> float:
-        """Core utilization of the deployed run."""
-        return self.result.utilization
 
 
 class HeteroMap:
@@ -81,7 +72,8 @@ class HeteroMap:
         predictor: str = "deep128",
         metric: str = "time",
         seed: int = 0,
-        cache_capacity: int = 4096,
+        cache_capacity: int | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         """Configure a HeteroMap instance.
 
@@ -91,12 +83,17 @@ class HeteroMap:
             predictor: learner name (see ``predictor_names()``).
             metric: tuning objective — "time", "energy", or "edp".
             seed: seed for training-set generation and learner init.
-            cache_capacity: decision-cache size for the batched serving
-                path (:meth:`plan_batch`); 0 disables caching.
+            cache_capacity: decision-cache size for the serving paths;
+                0 disables caching.  ``None`` (the default) reads the
+                ``REPRO_DECISION_CACHE`` environment variable, falling
+                back to 4096.
+            backend: execution backend for the engine; defaults to the
+                cost-model :class:`SimulatedBackend`.
 
         Raises:
             UnknownAcceleratorError: when the pair is not one GPU plus
                 one multicore.
+            ValueError: for a malformed ``REPRO_DECISION_CACHE``.
         """
         specs = [get_accelerator(name) for name in pair]
         gpus = [spec for spec in specs if spec.is_gpu]
@@ -115,15 +112,29 @@ class HeteroMap:
             predictor, self.gpu, self.multicore, seed=seed
         )
         self.database: TrainingDatabase | None = None
-        self._overhead_ms: float | None = None
-        self.decision_cache: DecisionCache | None = (
-            DecisionCache(cache_capacity) if cache_capacity > 0 else None
+        capacity = (
+            capacity_from_env() if cache_capacity is None else cache_capacity
         )
+        self.decisions = DecisionService(
+            self.predictor,
+            self.gpu,
+            self.multicore,
+            predictor_name=predictor,
+            metric=metric,
+            cache=DecisionCache(capacity) if capacity > 0 else None,
+        )
+        self.scheduler = Scheduler(self.gpu, self.multicore)
+        self.engine = Engine(self.decisions, self.scheduler, backend)
 
     @classmethod
     def with_default_pair(cls, **kwargs) -> "HeteroMap":
         """The paper's primary setup: GTX-750Ti + Xeon Phi 7120P."""
         return cls(DEFAULT_PAIR, **kwargs)
+
+    @property
+    def decision_cache(self) -> DecisionCache | None:
+        """The decision layer's exact LRU cache (``None`` when disabled)."""
+        return self.decisions.cache
 
     # -- offline ----------------------------------------------------------
 
@@ -157,12 +168,11 @@ class HeteroMap:
             if isinstance(self.predictor, LearnedPredictor):
                 with obs.span("heteromap.fit", predictor=self.predictor_name):
                     self.predictor.fit(*database.matrices())
-            self._overhead_ms = measure_overhead_ms(self.predictor)
-            obs.gauge("heteromap.overhead_ms", self._overhead_ms)
-            if self.decision_cache is not None:
-                # A refit changes predictions; memoized decisions from the
-                # previous model must not survive it.
-                self.decision_cache.clear()
+            self.decisions.overhead_ms = measure_overhead_ms(self.predictor)
+            obs.gauge("heteromap.overhead_ms", self.decisions.overhead_ms)
+            # A refit changes predictions; memoized decisions from the
+            # previous model must not survive it.
+            self.decisions.clear_cache()
         return database
 
     @property
@@ -172,9 +182,9 @@ class HeteroMap:
         Raises:
             NotTrainedError: before :meth:`train`.
         """
-        if self._overhead_ms is None:
+        if self.decisions.overhead_ms is None:
             raise NotTrainedError("call train() before querying overhead")
-        return self._overhead_ms
+        return self.decisions.overhead_ms
 
     # -- online -----------------------------------------------------------
 
@@ -195,184 +205,85 @@ class HeteroMap:
         With observability enabled, every call also emits a
         :class:`repro.obs.DecisionRecord`: the (B, I) inputs, the chosen
         deployment, its predicted time/energy/utilization, and the margin
-        over the runner-up accelerator (see :meth:`_audit_decision`).
+        over the runner-up accelerator (the decision layer's estimate of
+        the same predicted knob vector with the M1 bit flipped).
         """
-        if self._overhead_ms is None:
-            raise NotTrainedError("call train() before run()")
+        overhead_ms = self.decisions.require_trained()
         with obs.span(
             "heteromap.run_workload",
             benchmark=workload.benchmark,
             dataset=workload.dataset,
         ) as span:
-            spec, config = self.predict(workload)
-            result = run_workload(workload, spec, config)
-            span.set(chosen=spec.name)
+            decision = self.decisions.decide(workload)
+            result = self.engine.backend.execute(
+                workload, decision.spec, decision.config
+            )
+            span.set(chosen=decision.spec.name)
             if obs.enabled():
-                self._audit_decision(workload, spec, config, result)
-        return RunOutcome(
-            benchmark=workload.benchmark,
-            dataset=workload.dataset,
-            chosen_accelerator=spec.name,
-            config=config,
-            result=result,
-            predictor_overhead_ms=self._overhead_ms,
+                self.decisions.audit(
+                    decision, decision.spec, decision.config, result
+                )
+        return RunOutcome.from_execution(
+            workload, decision.spec, decision.config, result, overhead_ms
         )
 
     # -- batched serving ---------------------------------------------------
 
     def plan_batch(
-        self, workloads: "list[Workload | tuple[str, str]]"
+        self, workloads: Iterable[WorkloadLike]
     ) -> list[tuple[AcceleratorSpec, MachineConfig]]:
         """Predict deployments for a batch of workloads in one pass.
 
         Items may be prepared :class:`Workload` objects or raw
-        ``(benchmark, dataset)`` pairs.  The batch is deduped through the
-        decision cache (the discretized feature lattice makes hits exactly
-        equal to fresh predictions); the remaining misses run one batched
+        ``(benchmark, dataset)`` pairs, from any iterable (generators are
+        materialized once).  The batch is deduped through the decision
+        cache (the discretized feature lattice makes hits exactly equal
+        to fresh predictions); the remaining misses run one batched
         forward + decode and are fanned back out in input order.
 
         Raises:
             NotTrainedError: before :meth:`train`.
         """
-        prepared = [
-            item if isinstance(item, Workload) else prepare_workload(*item)
-            for item in workloads
-        ]
-        return [(spec, config) for spec, config, _ in self._decide_batch(prepared)]
+        return self.decisions.plan_batch(prepare_workloads(workloads))
 
     def run_many(
-        self, items: "list[Workload | tuple[str, str]]"
+        self, items: Iterable[WorkloadLike], *, policy: str = "solo"
     ) -> list[RunOutcome]:
         """Schedule and execute a batch of benchmark-input combinations.
 
         The planning half of :meth:`run` is amortized over the batch via
-        :meth:`plan_batch`'s cache + batched forward; deployment then runs
-        per workload, preserving the per-workload decision-audit records.
+        the decision layer's cache + batched forward; placement follows
+        ``policy`` (default ``solo`` — each workload on its
+        predictor-chosen device, executed serially, bit-identical to the
+        historical behavior).  ``"load-aware"`` / ``"makespan"`` let the
+        scheduler trade devices against each other; use
+        :meth:`run_fleet` for the per-device accounting.
         """
-        workloads = [
-            item if isinstance(item, Workload) else prepare_workload(*item)
-            for item in items
-        ]
+        workloads = prepare_workloads(items)
         with obs.span("heteromap.run_many", batch=len(workloads)) as span:
-            decisions = self._decide_batch(workloads)
-            outcomes = []
-            for workload, (spec, config, vector) in zip(workloads, decisions):
-                result = run_workload(workload, spec, config)
-                if obs.enabled():
-                    self._audit_decision(
-                        workload, spec, config, result, vector=vector
-                    )
-                outcomes.append(
-                    RunOutcome(
-                        benchmark=workload.benchmark,
-                        dataset=workload.dataset,
-                        chosen_accelerator=spec.name,
-                        config=config,
-                        result=result,
-                        predictor_overhead_ms=self._overhead_ms,
-                    )
-                )
+            report = self.engine.run_fleet(workloads, policy=policy)
             span.set(
-                chosen=",".join(sorted({o.chosen_accelerator for o in outcomes}))
+                chosen=",".join(
+                    sorted({o.chosen_accelerator for o in report.outcomes})
+                )
             )
-        return outcomes
+        return list(report.outcomes)
 
-    def _decide_batch(
-        self, workloads: list[Workload]
-    ) -> list[tuple[AcceleratorSpec, MachineConfig, np.ndarray]]:
-        """Cache-dedupe a batch and run one forward pass for the misses.
+    def run_fleet(
+        self, items: Iterable[WorkloadLike], *, policy: str = "load-aware"
+    ) -> FleetReport:
+        """Run a batch as a fleet and return the full accounting.
 
-        Returns one ``(spec, config, predicted_vector)`` triple per input
-        workload, in order.  Equal feature rows inside the batch share a
-        single prediction (first occurrence computes, the rest hit the
-        freshly inserted cache entry or an in-batch memo when the cache is
-        disabled).
+        The :class:`FleetReport` carries the outcomes (input order), the
+        per-device queue depths / busy / idle / utilization, the batch
+        makespan, and the serial (solo) baseline the makespan is judged
+        against.
+
+        Raises:
+            NotTrainedError: before :meth:`train`.
+            ValueError: for an unknown policy.
         """
-        if self._overhead_ms is None:
-            raise NotTrainedError("call train() before plan_batch()")
-        features = encode_features_batch(
-            [(w.bvars, w.ivars) for w in workloads]
-        )
-        keys = [feature_key(row) for row in features]
-        cache = self.decision_cache
-        decided: dict[tuple[float, ...], CachedDecision | None] = {}
-        miss_rows: list[int] = []
-        for index, key in enumerate(keys):
-            if key in decided:
-                continue
-            entry = cache.get(key) if cache is not None else None
-            if entry is not None:
-                decided[key] = entry
-            else:
-                miss_rows.append(index)
-                decided[key] = None  # placeholder: computed below
-        if miss_rows:
-            miss_features = features[miss_rows]
-            with obs.span(
-                "heteromap.predict_batch",
-                predictor=self.predictor_name,
-                batch=len(miss_rows),
-            ):
-                vectors = self.predictor.predict_batch(miss_features)
-            decoded = decode_config_batch(vectors, self.gpu, self.multicore)
-            for row, (spec, config), vector in zip(miss_rows, decoded, vectors):
-                entry = CachedDecision(spec=spec, config=config, vector=vector)
-                decided[keys[row]] = entry
-                if cache is not None:
-                    cache.put(keys[row], entry)
-        if obs.enabled():
-            obs.counter("serve.cache_hit", len(workloads) - len(miss_rows))
-            obs.counter("serve.cache_miss", len(miss_rows))
-            obs.histogram("serve.predict_batch_size", len(miss_rows))
-        return [
-            (entry.spec, entry.config, entry.vector)
-            for entry in (decided[key] for key in keys)
-        ]
-
-    def _audit_decision(
-        self,
-        workload: Workload,
-        spec: AcceleratorSpec,
-        config: MachineConfig,
-        result: SimulationResult,
-        *,
-        vector: np.ndarray | None = None,
-    ) -> None:
-        """Emit the decision-audit record for one scheduled execution.
-
-        The runner-up deployment is the *same* predicted knob vector with
-        the accelerator bit (M1) flipped and decoded onto the other
-        device — i.e. what the predictor would have deployed had it made
-        the opposite inter-accelerator call — costed under the same
-        model.  A positive margin means the scheduler picked the faster
-        side of its own prediction.
-
-        The batched path passes the already-predicted ``vector`` so audits
-        on cache hits don't re-run the predictor.
-        """
-        features = encode_features(workload.bvars, workload.ivars)
-        if vector is None:
-            vector = self.predictor.predict_vector(features)
-        vector = np.array(vector, dtype=np.float64, copy=True)
-        vector[0] = 0.0 if vector[0] >= 0.5 else 1.0
-        other_spec, other_config = decode_config(vector, self.gpu, self.multicore)
-        other = run_workload(workload, other_spec, other_config)
-        obs.record_decision(
-            obs.DecisionRecord(
-                benchmark=workload.benchmark,
-                dataset=workload.dataset,
-                predictor=self.predictor_name,
-                metric=self.metric,
-                features=tuple(float(f) for f in features),
-                chosen_accelerator=spec.name,
-                config=obs.config_summary(config, is_gpu=spec.is_gpu),
-                predicted_time_ms=result.time_ms,
-                predicted_energy_j=result.energy_j,
-                predicted_utilization=result.utilization,
-                runner_up_accelerator=other_spec.name,
-                runner_up_time_ms=other.time_ms,
-            )
-        )
+        return self.engine.run_fleet(prepare_workloads(items), policy=policy)
 
     # -- baselines ----------------------------------------------------------
 

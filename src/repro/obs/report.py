@@ -6,6 +6,8 @@ Reads a JSONL event stream produced by a ``REPRO_OBS=jsonl[:path]`` run
 * an event census (spans / decisions / logs / metrics snapshots, pids),
 * the top spans by total wall-clock time,
 * trace-cache hit / miss / corruption ratios,
+* serving-path counters: batched-prediction cache hits / misses plus the
+  decision cache's size / capacity / eviction gauges,
 * the predictor decision-audit table — one row per scheduled workload:
   chosen accelerator, M-configuration, predicted time, and the margin
   over the runner-up accelerator,
@@ -107,6 +109,37 @@ def _cache_section(registry: MetricsRegistry) -> str:
     )
 
 
+def _gauge_value(registry: MetricsRegistry, name: str) -> float | None:
+    series = registry.gauges.get(name)
+    if not series:
+        return None
+    return series.get((), next(iter(series.values())))
+
+
+def _serve_section(registry: MetricsRegistry) -> str:
+    hits = _counter_total(registry, "serve.cache_hit")
+    misses = _counter_total(registry, "serve.cache_miss")
+    lookups = hits + misses
+    if lookups == 0:
+        return "serving: no batched predictions recorded"
+    ratio = 100.0 * hits / lookups if lookups else 0.0
+    line = (
+        f"serving: {hits:g} cache hits / {misses:g} misses "
+        f"({ratio:.1f}% hit rate)"
+    )
+    size = _gauge_value(registry, "serve.decision_cache_size")
+    capacity = _gauge_value(registry, "serve.decision_cache_capacity")
+    evictions = _gauge_value(registry, "serve.decision_cache_evictions")
+    if size is not None and capacity is not None:
+        line += (
+            f"; decision cache {size:g}/{capacity:g} entries, "
+            f"{evictions or 0:g} evictions"
+        )
+    elif lookups and misses == lookups and hits == 0:
+        line += " (decision cache possibly disabled via REPRO_DECISION_CACHE=0)"
+    return line
+
+
 def _decision_section(events: Sequence[dict]) -> str:
     decisions = [e for e in events if e.get("kind") == "decision"]
     if not decisions:
@@ -170,6 +203,7 @@ def build_report(events: Sequence[dict], *, top: int = 10) -> str:
         f"({census})",
         _span_section(events, top),
         _cache_section(registry),
+        _serve_section(registry),
         _decision_section(events),
         _counters_section(registry),
     ]

@@ -15,6 +15,7 @@ dataset) pair it:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Union
 
 from repro import obs
 from repro.accel.simulator import SimulationResult, simulate
@@ -30,7 +31,15 @@ from repro.machine.specs import AcceleratorSpec
 from repro.runtime.trace_cache import load_trace, store_trace
 from repro.workload.profile import WorkloadProfile, build_profile
 
-__all__ = ["Workload", "prepare_workload", "run_workload", "trace_cache_key"]
+__all__ = [
+    "Workload",
+    "WorkloadLike",
+    "as_workload",
+    "prepare_workload",
+    "prepare_workloads",
+    "run_workload",
+    "trace_cache_key",
+]
 
 # Bump when kernel instrumentation changes so stale cached traces are
 # regenerated rather than silently reused.
@@ -120,6 +129,27 @@ def _prepare_workload(benchmark: str, dataset: str) -> Workload:
         ivars=ivars_from_meta(spec.paper),
         profile=profile,
     )
+
+
+#: What the batch entry points accept: a prepared :class:`Workload` or a
+#: raw ``(benchmark, dataset)`` pair still to be prepared.
+WorkloadLike = Union[Workload, "tuple[str, str]"]
+
+
+def as_workload(item: WorkloadLike) -> Workload:
+    """Coerce one batch item, preparing raw pairs on demand."""
+    if isinstance(item, Workload):
+        return item
+    return prepare_workload(*item)
+
+
+def prepare_workloads(items: Iterable[WorkloadLike]) -> list[Workload]:
+    """Materialize any iterable of batch items into prepared workloads.
+
+    Generators are consumed exactly once; the returned list is safe to
+    iterate repeatedly (the batch paths need several passes).
+    """
+    return [as_workload(item) for item in items]
 
 
 def run_workload(

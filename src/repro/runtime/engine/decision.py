@@ -1,0 +1,241 @@
+"""Decision layer: workloads in, both-device costed decisions out.
+
+:class:`DecisionService` owns everything the predictor needs at serving
+time — the learner itself, the accelerator pair, and the exact LRU
+:class:`~repro.runtime.serving.DecisionCache` — and exposes two tiers:
+
+* :meth:`plan_batch` — the throughput path: encode all features in one
+  pass, dedupe through the cache and an in-batch memo, run **one**
+  batched forward for the misses, fan back out in input order;
+* :meth:`decide_batch` — the engine path: everything above, plus a
+  cost-model estimate of the predicted deployment on **both**
+  accelerators (the runner-up side re-decodes the predicted knob vector
+  with the M1 accelerator bit flipped), packaged as
+  :class:`~repro.runtime.engine.contracts.Decision` objects the
+  placement layer can schedule against.
+
+Cache entries hold only the feature-keyed (spec, config, vector) triple;
+estimates depend on the workload *profile* (two datasets can share a
+discretized feature row yet scale differently), so they are computed per
+workload and never cached.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.accel.simulator import SimulationResult, simulate
+from repro.core.encoding import (
+    decode_config,
+    decode_config_batch,
+    encode_features_batch,
+)
+from repro.core.predictors.base import Predictor
+from repro.errors import NotTrainedError
+from repro.machine.mvars import MachineConfig
+from repro.machine.specs import AcceleratorSpec
+from repro.runtime.deploy import Workload
+from repro.runtime.engine.contracts import Decision, DeviceEstimate
+from repro.runtime.serving import CachedDecision, DecisionCache, feature_key
+
+__all__ = ["DecisionService"]
+
+
+def _flip_accelerator_bit(vector: np.ndarray) -> np.ndarray:
+    """The runner-up knob vector: same prediction, opposite M1 call."""
+    flipped = np.array(vector, dtype=np.float64, copy=True)
+    flipped[0] = 0.0 if flipped[0] >= 0.5 else 1.0
+    return flipped
+
+
+class DecisionService:
+    """The engine's decision layer around one predictor + device pair."""
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        gpu: AcceleratorSpec,
+        multicore: AcceleratorSpec,
+        *,
+        predictor_name: str,
+        metric: str,
+        cache: DecisionCache | None = None,
+    ) -> None:
+        self.predictor = predictor
+        self.gpu = gpu
+        self.multicore = multicore
+        self.predictor_name = predictor_name
+        self.metric = metric
+        self.cache = cache
+        #: Measured predictor inference latency; ``None`` until trained.
+        self.overhead_ms: float | None = None
+
+    # -- gates -------------------------------------------------------------
+
+    @property
+    def trained(self) -> bool:
+        return self.overhead_ms is not None
+
+    def require_trained(self) -> float:
+        """The measured overhead, or a :class:`NotTrainedError`."""
+        if self.overhead_ms is None:
+            raise NotTrainedError("call train() before serving predictions")
+        return self.overhead_ms
+
+    def clear_cache(self) -> None:
+        """Drop memoized decisions (a refit changes the mapping)."""
+        if self.cache is not None:
+            self.cache.clear()
+
+    # -- planning (spec + config only) -------------------------------------
+
+    def plan_batch(
+        self, workloads: Sequence[Workload]
+    ) -> list[tuple[AcceleratorSpec, MachineConfig]]:
+        """Predict deployments for a batch in one cached forward pass."""
+        entries, _ = self._choose_batch(workloads)
+        return [(entry.spec, entry.config) for entry in entries]
+
+    def _choose_batch(
+        self, workloads: Sequence[Workload]
+    ) -> tuple[list[CachedDecision], np.ndarray]:
+        """Cache-dedupe a batch and run one forward pass for the misses.
+
+        Returns one :class:`CachedDecision` per input workload, in order,
+        plus the encoded ``(n, 17)`` feature matrix.  Equal feature rows
+        share a single prediction (first occurrence computes, the rest
+        hit the freshly inserted cache entry or an in-batch memo when
+        the cache is disabled).
+        """
+        self.require_trained()
+        features = encode_features_batch(
+            [(w.bvars, w.ivars) for w in workloads]
+        )
+        keys = [feature_key(row) for row in features]
+        cache = self.cache
+        decided: dict[tuple[float, ...], CachedDecision | None] = {}
+        miss_rows: list[int] = []
+        for index, key in enumerate(keys):
+            if key in decided:
+                continue
+            entry = cache.get(key) if cache is not None else None
+            if entry is not None:
+                decided[key] = entry
+            else:
+                miss_rows.append(index)
+                decided[key] = None  # placeholder: computed below
+        if miss_rows:
+            miss_features = features[miss_rows]
+            with obs.span(
+                "heteromap.predict_batch",
+                predictor=self.predictor_name,
+                batch=len(miss_rows),
+            ):
+                vectors = self.predictor.predict_batch(miss_features)
+            decoded = decode_config_batch(vectors, self.gpu, self.multicore)
+            for row, (spec, config), vector in zip(miss_rows, decoded, vectors):
+                entry = CachedDecision(spec=spec, config=config, vector=vector)
+                decided[keys[row]] = entry
+                if cache is not None:
+                    cache.put(keys[row], entry)
+        if obs.enabled():
+            obs.counter("serve.cache_hit", len(workloads) - len(miss_rows))
+            obs.counter("serve.cache_miss", len(miss_rows))
+            obs.histogram("serve.predict_batch_size", len(miss_rows))
+            self._export_cache_stats()
+        return [decided[key] for key in keys], features
+
+    def _export_cache_stats(self) -> None:
+        """Gauge the decision cache so ``repro-obs-report`` can show it."""
+        if self.cache is None:
+            return
+        stats = self.cache.stats
+        obs.gauge("serve.decision_cache_size", len(self.cache))
+        obs.gauge("serve.decision_cache_capacity", self.cache.capacity)
+        obs.gauge("serve.decision_cache_hits", stats.hits)
+        obs.gauge("serve.decision_cache_misses", stats.misses)
+        obs.gauge("serve.decision_cache_evictions", stats.evictions)
+
+    # -- deciding (both-device estimates) -----------------------------------
+
+    def decide(self, workload: Workload) -> Decision:
+        """One workload's both-device costed decision."""
+        return self.decide_batch([workload])[0]
+
+    def decide_batch(self, workloads: Sequence[Workload]) -> list[Decision]:
+        """Choose deployments and cost both sides for a whole batch."""
+        entries, features = self._choose_batch(workloads)
+        decisions = [
+            self._with_estimates(workload, entry, row)
+            for workload, entry, row in zip(workloads, entries, features)
+        ]
+        if decisions and obs.enabled():
+            # Two cost-model evaluations per decision: chosen + runner-up.
+            obs.counter("engine.estimates", 2 * len(decisions))
+        return decisions
+
+    def _with_estimates(
+        self, workload: Workload, entry: CachedDecision, features: np.ndarray
+    ) -> Decision:
+        chosen = DeviceEstimate(
+            spec=entry.spec,
+            config=entry.config,
+            result=simulate(workload.profile, entry.spec, entry.config),
+        )
+        other_spec, other_config = decode_config(
+            _flip_accelerator_bit(entry.vector), self.gpu, self.multicore
+        )
+        other = DeviceEstimate(
+            spec=other_spec,
+            config=other_config,
+            result=simulate(workload.profile, other_spec, other_config),
+        )
+        return Decision(
+            workload=workload,
+            chosen=chosen,
+            other=other,
+            vector=entry.vector,
+            features=tuple(float(f) for f in features),
+        )
+
+    # -- auditing -----------------------------------------------------------
+
+    def audit(
+        self,
+        decision: Decision,
+        spec: AcceleratorSpec,
+        config: MachineConfig,
+        result: SimulationResult,
+    ) -> None:
+        """Emit the decision-audit record for one executed placement.
+
+        ``spec``/``config``/``result`` describe the deployment that
+        actually ran (the scheduler may have overridden the predictor's
+        choice); the runner-up column is the decision's estimate on the
+        *other* device, so a ``solo`` placement audits exactly like the
+        pre-engine scalar path did.
+        """
+        runner_up = decision.estimate_for(
+            self.multicore.name
+            if spec.name == self.gpu.name
+            else self.gpu.name
+        )
+        obs.record_decision(
+            obs.DecisionRecord(
+                benchmark=decision.workload.benchmark,
+                dataset=decision.workload.dataset,
+                predictor=self.predictor_name,
+                metric=self.metric,
+                features=decision.features,
+                chosen_accelerator=spec.name,
+                config=obs.config_summary(config, is_gpu=spec.is_gpu),
+                predicted_time_ms=result.time_ms,
+                predicted_energy_j=result.energy_j,
+                predicted_utilization=result.utilization,
+                runner_up_accelerator=runner_up.spec.name,
+                runner_up_time_ms=runner_up.time_ms,
+            )
+        )

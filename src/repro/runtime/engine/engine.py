@@ -1,0 +1,136 @@
+"""The engine: decision → placement → execution, composed.
+
+:class:`Engine` wires the three layers together: the
+:class:`~repro.runtime.engine.decision.DecisionService` prices every
+workload on both accelerators, the
+:class:`~repro.runtime.engine.scheduler.Scheduler` places the batch on
+simulated per-device clocks under the requested policy, and the
+:class:`~repro.runtime.engine.execution.ExecutionBackend` drains the two
+device queues (the clocks model them draining *concurrently*; execution
+itself is deterministic simulation, so drain order is irrelevant to the
+results).  The batch-level accounting — per-device busy/idle time and
+utilization, the fleet makespan, and the serial (solo) baseline — comes
+back as a :class:`~repro.runtime.engine.contracts.FleetReport`.
+
+``HeteroMap.run_many`` is a thin wrapper over :meth:`Engine.run_fleet`
+that keeps only the outcomes; callers who want the fleet accounting use
+``HeteroMap.run_fleet`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import obs
+from repro.runtime.deploy import Workload
+from repro.runtime.engine.contracts import (
+    DeviceReport,
+    FleetReport,
+    Placement,
+    RunOutcome,
+)
+from repro.runtime.engine.decision import DecisionService
+from repro.runtime.engine.execution import ExecutionBackend, SimulatedBackend
+from repro.runtime.engine.scheduler import Scheduler
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Fleet-level runner over one decision service, scheduler, backend."""
+
+    def __init__(
+        self,
+        decisions: DecisionService,
+        scheduler: Scheduler,
+        backend: ExecutionBackend | None = None,
+    ) -> None:
+        self.decisions = decisions
+        self.scheduler = scheduler
+        self.backend: ExecutionBackend = backend or SimulatedBackend()
+
+    def run_fleet(
+        self, workloads: Sequence[Workload], *, policy: str = "solo"
+    ) -> FleetReport:
+        """Decide, place, and execute a batch under one policy.
+
+        Raises:
+            NotTrainedError: before the predictor is trained.
+            ValueError: for an unknown policy.
+        """
+        overhead_ms = self.decisions.require_trained()
+        with obs.span(
+            "engine.run_fleet", policy=policy, batch=len(workloads)
+        ) as span:
+            decisions = self.decisions.decide_batch(list(workloads))
+            placements = self.scheduler.place(decisions, policy=policy)
+            outcomes = []
+            for placement in placements:  # input order: audits line up
+                deployed = placement.deployed
+                result = self.backend.execute(
+                    placement.decision.workload, deployed.spec, deployed.config
+                )
+                if obs.enabled():
+                    self.decisions.audit(
+                        placement.decision, deployed.spec, deployed.config, result
+                    )
+                outcomes.append(
+                    RunOutcome.from_execution(
+                        placement.decision.workload,
+                        deployed.spec,
+                        deployed.config,
+                        result,
+                        overhead_ms,
+                    )
+                )
+            report = self._report(
+                policy, placements, outcomes, overhead_ms
+            )
+            span.set(
+                makespan_ms=round(report.makespan_ms, 3),
+                chosen=",".join(
+                    sorted({o.chosen_accelerator for o in outcomes})
+                ),
+            )
+            if obs.enabled():
+                for device in report.devices:
+                    obs.gauge(
+                        "engine.device_utilization",
+                        device.utilization,
+                        device=device.accelerator,
+                        policy=policy,
+                    )
+        return report
+
+    def _report(
+        self,
+        policy: str,
+        placements: "list[Placement]",
+        outcomes: "list[RunOutcome]",
+        overhead_ms: float,
+    ) -> FleetReport:
+        makespan = max((p.finish_ms for p in placements), default=0.0)
+        devices = []
+        for spec in (self.scheduler.gpu, self.scheduler.multicore):
+            mine = [p for p in placements if p.deployed.spec.name == spec.name]
+            busy = sum(p.deployed.time_ms for p in mine)
+            devices.append(
+                DeviceReport(
+                    accelerator=spec.name,
+                    items=len(mine),
+                    busy_ms=busy,
+                    idle_ms=max(0.0, makespan - busy),
+                    utilization=busy / makespan if makespan > 0 else 0.0,
+                )
+            )
+        serial = sum(p.decision.chosen.time_ms for p in placements)
+        return FleetReport(
+            policy=policy,
+            backend=self.backend.name,
+            outcomes=tuple(outcomes),
+            placements=tuple(placements),
+            devices=tuple(devices),
+            makespan_ms=makespan,
+            serial_ms=serial,
+            total_overhead_ms=overhead_ms * len(placements),
+        )

@@ -1,0 +1,32 @@
+"""Shared fixtures for the engine (decision/placement/execution) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heteromap import HeteroMap
+from repro.runtime.deploy import prepare_workload
+
+#: A mixed batch: frontier + relaxation + all-vertex kernels, with one
+#: duplicate so the decision cache has something to dedupe.
+BATCH_ITEMS = (
+    ("pagerank", "facebook"),
+    ("bfs", "cage14"),
+    ("sssp_bf", "usa-cal"),
+    ("pagerank", "facebook"),
+    ("connected_components", "cage14"),
+)
+
+
+@pytest.fixture(scope="package")
+def trained():
+    """One trained CART HeteroMap shared across the engine tests."""
+    hetero = HeteroMap.with_default_pair(predictor="cart", seed=5)
+    hetero.train(num_samples=40, seed=5)
+    return hetero
+
+
+@pytest.fixture(scope="package")
+def batch(trained):
+    """The mixed batch, prepared once."""
+    return [prepare_workload(b, d) for b, d in BATCH_ITEMS]
