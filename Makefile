@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-force bench-serve bench-scheduler fuzz fuzz-deep obs-report
+.PHONY: test bench bench-force bench-serve bench-scheduler bench-serving \
+	serve fuzz fuzz-deep obs-report
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +33,17 @@ bench-serve:
 # load-aware vs makespan) plus end-to-end run_fleet throughput.
 bench-scheduler:
 	$(PYTHON) benchmarks/bench_sweep.py --sections scheduler
+
+# Only the async-serving section: closed-loop capacity probe, then
+# calibrated open-loop Poisson + bursty ON/OFF traces through the
+# dynamic-batching server (sustained decisions/sec, p50/p99 latency).
+bench-serving:
+	$(PYTHON) benchmarks/bench_sweep.py --sections serving_async
+
+# Drive the async serving front end directly (see repro-serve --help for
+# trace shape, batching knobs, gates, and the JSONL artifact).
+serve:
+	$(PYTHON) -m repro.runtime.serve_cli $(SERVE_ARGS)
 
 # Summarize the REPRO_OBS=jsonl event stream (repro_obs.jsonl by default):
 # top spans, trace-cache hit ratios, and the predictor decision-audit table.

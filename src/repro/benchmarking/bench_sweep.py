@@ -13,7 +13,11 @@ Measures the hot paths the batch evaluator exists for and records them to
   the deep128 flagship and the tree baselines,
 * fleet scheduling — batch makespan of a mixed workload batch under the
   engine's ``solo`` / ``load-aware`` / ``makespan`` placement policies,
-  plus end-to-end fleet throughput in items/sec.
+  plus end-to-end fleet throughput in items/sec,
+* async serving — the dynamic-batching front end under seeded open-loop
+  Poisson and bursty ON/OFF traces: a closed-loop capacity probe, then
+  sustained decisions/sec and p50/p99 decision latency at a calibrated
+  offered rate, plus a bit-identity check against ``plan_batch``.
 
 The harness refuses to overwrite an existing baseline with a >25%
 regression on any tracked throughput metric unless ``--force`` is passed,
@@ -58,7 +62,13 @@ REGRESSION_TOLERANCE = 0.25  # refuse to record a >25% throughput drop
 
 #: Sections ``run_bench`` knows how to produce; ``--sections`` selects a
 #: subset, whose payload is merged over the existing baseline.
-SECTION_NAMES = ("lattice_sweep", "db_build", "predict_throughput", "scheduler")
+SECTION_NAMES = (
+    "lattice_sweep",
+    "db_build",
+    "predict_throughput",
+    "scheduler",
+    "serving_async",
+)
 
 #: Predictors the serving bench times: the deep128 flagship plus both
 #: tree baselines (analytical + learned CART).
@@ -76,6 +86,13 @@ _GATED_METRICS = (
     ("predict_throughput", "deep128_batched_per_sec"),
     ("predict_throughput", "deep128_cached_per_sec"),
     ("scheduler", "fleet_items_per_sec"),
+    ("serving_async", "poisson_decisions_per_sec"),
+)
+
+# Lower-is-better metrics the gate tracks (tail latency): refused when the
+# new value exceeds the baseline by more than the tolerance.
+_GATED_LOWER_METRICS = (
+    ("serving_async", "poisson_p99_ms"),
 )
 
 
@@ -309,6 +326,148 @@ def bench_scheduler(
     return results
 
 
+#: The workload pool the async-serving bench cycles through: the same hot
+#: keys a production front end would see (cache hits after warmup).
+_SERVING_POOL = (
+    ("pagerank", "facebook"),
+    ("bfs", "facebook"),
+    ("sssp_bf", "usa-cal"),
+    ("connected_components", "cage14"),
+)
+
+
+def bench_serving_async(
+    pair: tuple[str, str],
+    *,
+    train_samples: int = 48,
+    duration_s: float = 1.0,
+    probe_s: float = 0.3,
+    seed: int = 0,
+) -> dict:
+    """Benchmark the asyncio serving front end end to end.
+
+    Three measurements over a warm deep128 model:
+
+    * **closed-loop capacity probe** — submit-as-fast-as-possible through
+      the dynamic-batching window (inline flushes, no event loop) to
+      measure the service ceiling in decisions/sec;
+    * **open-loop Poisson** — a seeded arrival trace offered at half the
+      measured ceiling (comfortably sustainable, so latency reflects the
+      batching window rather than queue growth), reporting sustained
+      decisions/sec and p50/p99 decision latency;
+    * **open-loop ON/OFF** — bursts at the full ceiling with a 50% duty
+      cycle, exercising the bounded queue and deadline flushes.
+
+    A final short trace is collected result-by-result and compared to the
+    synchronous ``plan_batch`` on the same workload sequence; the
+    ``plan_batch_identical`` flag records that async serving changes *when*
+    decisions happen, never *what* they are.
+    """
+    import asyncio
+
+    from repro.core.heteromap import HeteroMap
+    from repro.runtime.loadgen import (
+        onoff_arrivals,
+        poisson_arrivals,
+        run_open_loop,
+    )
+    from repro.runtime.server import DecisionServer, ServerConfig, low_latency_gc
+
+    hetero = HeteroMap(pair, predictor="deep128", seed=seed)
+    hetero.train(num_samples=train_samples, seed=seed)
+    pool = [prepare_workload(b, d) for b, d in _SERVING_POOL]
+    hetero.plan_batch(pool)  # warm the decision cache: hot keys hit
+
+    config = ServerConfig(
+        max_batch=512, flush_deadline_ms=2.0, queue_capacity=16384
+    )
+
+    def closed_loop_probe() -> float:
+        server = DecisionServer(hetero.decisions, config)
+        n_pool = len(pool)
+        start = time.perf_counter()
+        deadline = start + probe_s
+        i = 0
+        while time.perf_counter() < deadline:
+            server.try_submit(pool[i % n_pool])
+            i += 1
+        server.flush_now()
+        elapsed = time.perf_counter() - start
+        return server.stats.completed / elapsed
+
+    async def drive(arrivals, label, collect=False):
+        server = DecisionServer(hetero.decisions, config)
+        async with server:
+            return await run_open_loop(
+                server, arrivals, pool, collect_results=collect, label=label
+            )
+
+    with low_latency_gc():
+        capacity_per_s = closed_loop_probe()
+        offered_rate = capacity_per_s * 0.5
+        poisson = asyncio.run(
+            drive(
+                poisson_arrivals(offered_rate, duration_s, seed=seed),
+                "poisson",
+            )
+        )
+        burst = asyncio.run(
+            drive(
+                onoff_arrivals(
+                    capacity_per_s,
+                    duration_s=duration_s,
+                    period_s=0.1,
+                    duty=0.5,
+                    seed=seed,
+                ),
+                "onoff",
+            )
+        )
+        identity = asyncio.run(
+            drive(
+                poisson_arrivals(min(offered_rate, 20_000.0), 0.1, seed=seed + 1),
+                "identity",
+                collect=True,
+            )
+        )
+
+    submitted = [pool[i % len(pool)] for i in range(identity.offered)]
+    expected = hetero.decisions.plan_batch(submitted)
+    identical = identity.rejected == 0 and all(
+        spec is want_spec and config_ == want_config
+        for (spec, config_), (want_spec, want_config) in zip(
+            identity.results, expected
+        )
+    )
+
+    return {
+        "pair": list(pair),
+        "pool": [list(item) for item in _SERVING_POOL],
+        "train_samples": train_samples,
+        "duration_s": duration_s,
+        "max_batch": config.max_batch,
+        "flush_deadline_ms": config.flush_deadline_ms,
+        "queue_capacity": config.queue_capacity,
+        "closed_loop_capacity_per_sec": capacity_per_s,
+        "offered_per_sec": offered_rate,
+        "poisson_decisions_per_sec": poisson.sustained_per_sec,
+        "poisson_p50_ms": poisson.latency_p50_ms,
+        "poisson_p99_ms": poisson.latency_p99_ms,
+        "poisson_queue_wait_p99_ms": poisson.queue_wait_p99_ms,
+        "poisson_mean_batch": poisson.mean_batch,
+        "poisson_rejected": poisson.rejected,
+        "poisson_dropped": poisson.dropped,
+        "onoff_burst_per_sec": capacity_per_s,
+        "onoff_decisions_per_sec": burst.sustained_per_sec,
+        "onoff_p50_ms": burst.latency_p50_ms,
+        "onoff_p99_ms": burst.latency_p99_ms,
+        "onoff_mean_batch": burst.mean_batch,
+        "onoff_rejected": burst.rejected,
+        "onoff_dropped": burst.dropped,
+        "plan_batch_identical": identical,
+    }
+
+
 def _timed(fn) -> float:
     start = time.perf_counter()
     fn()
@@ -324,6 +483,8 @@ def run_bench(
     repeats: int = 3,
     seed: int = 0,
     batch_size: int = 256,
+    serve_duration: float = 1.0,
+    serve_train_samples: int = 48,
     sections: tuple[str, ...] = SECTION_NAMES,
 ) -> dict:
     """Run the selected benches and return the JSON payload.
@@ -348,11 +509,22 @@ def run_bench(
         )
     if "scheduler" in sections:
         payload["scheduler"] = bench_scheduler(pair, repeats=repeats, seed=seed)
+    if "serving_async" in sections:
+        payload["serving_async"] = bench_serving_async(
+            pair,
+            train_samples=serve_train_samples,
+            duration_s=serve_duration,
+            seed=seed,
+        )
     return payload
 
 
 def check_regressions(old: dict, new: dict) -> list[str]:
-    """Tracked metrics that regressed by more than the tolerance."""
+    """Tracked metrics that regressed by more than the tolerance.
+
+    Throughput metrics regress by dropping; latency metrics
+    (:data:`_GATED_LOWER_METRICS`) regress by growing.
+    """
     regressions = []
     for section, key in _GATED_METRICS:
         old_value = old.get(section, {}).get(key)
@@ -363,6 +535,16 @@ def check_regressions(old: dict, new: dict) -> list[str]:
             regressions.append(
                 f"{section}.{key}: {old_value:.1f} -> {new_value:.1f} "
                 f"({new_value / old_value - 1.0:+.0%})"
+            )
+    for section, key in _GATED_LOWER_METRICS:
+        old_value = old.get(section, {}).get(key)
+        new_value = new.get(section, {}).get(key)
+        if not old_value or not new_value:
+            continue
+        if new_value > old_value * (1.0 + REGRESSION_TOLERANCE):
+            regressions.append(
+                f"{section}.{key}: {old_value:.2f} -> {new_value:.2f} "
+                f"({new_value / old_value - 1.0:+.0%}, lower is better)"
             )
     return regressions
 
@@ -392,6 +574,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--batch-size", type=int, default=256,
         help="batch size for the predict-throughput bench (default: 256)",
+    )
+    parser.add_argument(
+        "--serve-duration", type=float, default=1.0,
+        help="open-loop trace duration for the serving bench (default: 1.0s)",
+    )
+    parser.add_argument(
+        "--serve-train-samples", type=int, default=48,
+        help="training samples for the serving bench model (default: 48)",
     )
     parser.add_argument(
         "--sections", nargs="+", default=list(SECTION_NAMES),
@@ -424,6 +614,8 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers,
             repeats=args.repeats,
             batch_size=args.batch_size,
+            serve_duration=args.serve_duration,
+            serve_train_samples=args.serve_train_samples,
             sections=tuple(args.sections),
         )
 
@@ -472,6 +664,21 @@ def main(argv: list[str] | None = None) -> int:
             makespan_makespan_ms=round(sched["makespan_makespan_ms"], 1),
             load_aware_speedup=round(sched["load_aware_speedup"], 2),
             fleet_items_per_s=round(sched["fleet_items_per_sec"], 1),
+        )
+
+    if "serving_async" in payload:
+        serve = payload["serving_async"]
+        log.info(
+            "serving_async",
+            capacity_per_s=round(serve["closed_loop_capacity_per_sec"]),
+            offered_per_s=round(serve["offered_per_sec"]),
+            poisson_per_s=round(serve["poisson_decisions_per_sec"]),
+            poisson_p99_ms=round(serve["poisson_p99_ms"], 2),
+            onoff_per_s=round(serve["onoff_decisions_per_sec"]),
+            onoff_p99_ms=round(serve["onoff_p99_ms"], 2),
+            rejected=serve["poisson_rejected"] + serve["onoff_rejected"],
+            dropped=serve["poisson_dropped"] + serve["onoff_dropped"],
+            plan_batch_identical=serve["plan_batch_identical"],
         )
 
     output = Path(args.output)

@@ -43,6 +43,16 @@ class Predictor(abc.ABC):
     #: registry key, e.g. ``"deep128"``.
     name: str = ""
 
+    #: Whether the exact LRU decision cache pays off for this predictor.
+    #: The cache trades a batched forward pass for per-row key lookups;
+    #: for most models (matrix forwards, per-row analytical evaluation)
+    #: a hit is far cheaper than a recompute, but a predictor whose
+    #: vectorized batch predict is cheaper than the lookup itself should
+    #: set this to ``False`` so the serving layer routes every batch
+    #: straight through ``predict_batch`` (decisions are unchanged — the
+    #: cache is exact — only the path differs).
+    prefer_decision_cache: bool = True
+
     @abc.abstractmethod
     def predict_vector(self, features: np.ndarray) -> np.ndarray:
         """Predict the normalized M target vector for one feature row."""

@@ -12,11 +12,13 @@ database content byte-identical to the serial build.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
 from repro import obs
+from repro.accel.batch import lattice_table
 from repro.core.database import TrainingDatabase
 from repro.core.encoding import encode_config, encode_features
 from repro.machine.specs import AcceleratorSpec
@@ -24,7 +26,7 @@ from repro.tuning.exhaustive import best_on_pair
 from repro.workload.profile import build_profile
 from repro.workload.synthetic import SyntheticSample, generate_samples
 
-__all__ = ["label_sample", "build_training_database"]
+__all__ = ["available_cpus", "label_sample", "build_training_database"]
 
 
 def label_sample(
@@ -58,8 +60,9 @@ def label_sample(
 #: Parallel labeling only pays off once every worker process amortizes its
 #: spawn/import cost over enough lattice sweeps; below this many samples
 #: per worker the serial path wins (and is trivially byte-identical), so
-#: small builds fall through to it.
-_MIN_SAMPLES_PER_WORKER = 32
+#: small builds fall through to it.  Raised from 32 after the bench showed
+#: pool overhead still eating the win at ~32 samples/worker on slow hosts.
+_MIN_SAMPLES_PER_WORKER = 64
 
 #: Chunks dispatched per worker.  A few chunks per worker balances load
 #: (sweep time varies with the sampled lattice) without returning to the
@@ -67,12 +70,55 @@ _MIN_SAMPLES_PER_WORKER = 32
 #: than serial.
 _CHUNKS_PER_WORKER = 4
 
+# Per-worker context installed once by the pool initializer, so each
+# dispatched chunk pickles only its samples — not the accelerator specs
+# and metric over and over.
+_WORKER_CONTEXT: tuple[AcceleratorSpec, AcceleratorSpec, str] | None = None
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _effective_workers(workers: int, num_samples: int) -> int:
+    """Worker count the build will really use (1 means the serial path).
+
+    Clamps to the CPUs the process can run on — extra workers on a
+    saturated host only add IPC and scheduling overhead — and falls back
+    to serial when the build is too small to amortize pool startup.
+    """
+    workers = min(int(workers), available_cpus())
+    if workers <= 1:
+        return 1
+    if num_samples < workers * _MIN_SAMPLES_PER_WORKER:
+        return 1
+    return workers
+
+
+def _init_worker(
+    gpu: AcceleratorSpec, multicore: AcceleratorSpec, metric: str
+) -> None:
+    """Pool initializer: install the context and pre-warm both lattices.
+
+    Building the cached config tables here moves that one-time cost off
+    every worker's first chunk, so chunk latencies stay uniform and the
+    load balancer's few-chunks-per-worker split holds.
+    """
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = (gpu, multicore, metric)
+    lattice_table(gpu)
+    lattice_table(multicore)
+
 
 def _label_chunk_task(
-    args: tuple[list[SyntheticSample], AcceleratorSpec, AcceleratorSpec, str],
+    samples: list[SyntheticSample],
 ) -> list[tuple[np.ndarray, np.ndarray, float]]:
     """Picklable worker wrapper labeling one chunk of samples."""
-    samples, gpu, multicore, metric = args
+    gpu, multicore, metric = _WORKER_CONTEXT
     return [
         label_sample(sample, gpu, multicore, metric=metric)
         for sample in samples
@@ -98,10 +144,12 @@ def build_training_database(
         workers: worker processes to label samples with.  Labeling is a
             pure function of the (pre-generated) sample list and results
             are collected in sample order, so any worker count produces a
-            byte-identical database for the same seed.  Samples are
-            dispatched in contiguous chunks (a few per worker), and
-            builds too small to amortize process startup
-            (< ``workers × 32`` samples) take the serial path outright.
+            byte-identical database for the same seed.  The requested
+            count is clamped to the CPUs the process can run on; samples
+            are dispatched in contiguous chunks (a few per worker, specs
+            shipped once via the pool initializer), and builds too small
+            to amortize process startup (< ``workers × 64`` samples)
+            take the serial path outright.
     """
     with obs.span(
         "training.build_database",
@@ -112,17 +160,21 @@ def build_training_database(
     ):
         database = TrainingDatabase(pair=(gpu.name, multicore.name), metric=metric)
         samples = generate_samples(num_samples, seed=seed)
-        if workers > 1 and len(samples) >= workers * _MIN_SAMPLES_PER_WORKER:
-            chunk_size = -(-len(samples) // (workers * _CHUNKS_PER_WORKER))
+        effective = _effective_workers(workers, len(samples))
+        if effective > 1:
+            chunk_size = -(-len(samples) // (effective * _CHUNKS_PER_WORKER))
             chunks = [
                 samples[start : start + chunk_size]
                 for start in range(0, len(samples), chunk_size)
             ]
-            tasks = [(chunk, gpu, multicore, metric) for chunk in chunks]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with ProcessPoolExecutor(
+                max_workers=effective,
+                initializer=_init_worker,
+                initargs=(gpu, multicore, metric),
+            ) as pool:
                 rows = [
                     row
-                    for chunk_rows in pool.map(_label_chunk_task, tasks)
+                    for chunk_rows in pool.map(_label_chunk_task, chunks)
                     for row in chunk_rows
                 ]
         else:

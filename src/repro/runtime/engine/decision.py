@@ -39,7 +39,11 @@ from repro.machine.mvars import MachineConfig
 from repro.machine.specs import AcceleratorSpec
 from repro.runtime.deploy import Workload
 from repro.runtime.engine.contracts import Decision, DeviceEstimate
-from repro.runtime.serving import CachedDecision, DecisionCache, feature_key
+from repro.runtime.serving import (
+    CachedDecision,
+    DecisionCache,
+    feature_keys_batch,
+)
 
 __all__ = ["DecisionService"]
 
@@ -92,6 +96,17 @@ class DecisionService:
 
     # -- planning (spec + config only) -------------------------------------
 
+    @property
+    def cache_active(self) -> bool:
+        """Whether batches actually consult the LRU decision cache.
+
+        False either because caching is disabled outright or because the
+        predictor's batched forward is cheaper than a cache hit
+        (``prefer_decision_cache = False``, e.g. CART) — bypassing is
+        decision-neutral since the cache is exact.
+        """
+        return self.cache is not None and self.predictor.prefer_decision_cache
+
     def plan_batch(
         self, workloads: Sequence[Workload]
     ) -> list[tuple[AcceleratorSpec, MachineConfig]]:
@@ -99,23 +114,33 @@ class DecisionService:
         entries, _ = self._choose_batch(workloads)
         return [(entry.spec, entry.config) for entry in entries]
 
+    def encode(self, workloads: Sequence[Workload]) -> np.ndarray:
+        """The batch's discretized ``(n, 17)`` feature matrix."""
+        return encode_features_batch([(w.bvars, w.ivars) for w in workloads])
+
     def _choose_batch(
         self, workloads: Sequence[Workload]
     ) -> tuple[list[CachedDecision], np.ndarray]:
-        """Cache-dedupe a batch and run one forward pass for the misses.
+        """Cache-dedupe a batch and run one forward pass for the misses."""
+        features = self.encode(workloads)
+        return self.choose_encoded(features), features
 
-        Returns one :class:`CachedDecision` per input workload, in order,
-        plus the encoded ``(n, 17)`` feature matrix.  Equal feature rows
-        share a single prediction (first occurrence computes, the rest
-        hit the freshly inserted cache entry or an in-batch memo when
-        the cache is disabled).
+    def choose_encoded(self, features: np.ndarray) -> list[CachedDecision]:
+        """Decide a pre-encoded feature matrix through cache + one forward.
+
+        Returns one :class:`CachedDecision` per input row, in order.
+        Equal feature rows share a single prediction (first occurrence
+        computes, the rest hit the freshly inserted cache entry or an
+        in-batch memo when the cache is disabled or bypassed).  The async
+        server calls this directly with memoized feature rows, skipping
+        the encode pass for hot workloads.
+
+        Raises:
+            NotTrainedError: before the predictor is trained.
         """
         self.require_trained()
-        features = encode_features_batch(
-            [(w.bvars, w.ivars) for w in workloads]
-        )
-        keys = [feature_key(row) for row in features]
-        cache = self.cache
+        keys = feature_keys_batch(features)
+        cache = self.cache if self.cache_active else None
         decided: dict[tuple[float, ...], CachedDecision | None] = {}
         miss_rows: list[int] = []
         for index, key in enumerate(keys):
@@ -142,11 +167,11 @@ class DecisionService:
                 if cache is not None:
                     cache.put(keys[row], entry)
         if obs.enabled():
-            obs.counter("serve.cache_hit", len(workloads) - len(miss_rows))
+            obs.counter("serve.cache_hit", len(keys) - len(miss_rows))
             obs.counter("serve.cache_miss", len(miss_rows))
             obs.histogram("serve.predict_batch_size", len(miss_rows))
             self._export_cache_stats()
-        return [decided[key] for key in keys], features
+        return [decided[key] for key in keys]
 
     def _export_cache_stats(self) -> None:
         """Gauge the decision cache so ``repro-obs-report`` can show it."""

@@ -1,0 +1,258 @@
+"""``repro-serve`` — drive the async serving front end under load.
+
+Trains a HeteroMap instance, stands up a
+:class:`~repro.runtime.server.DecisionServer`, replays a seeded open-loop
+arrival trace (Poisson or bursty ON/OFF) over a hot workload pool, and
+reports sustained decisions/sec with p50/p99 decision-latency and
+queue-wait tails.  Optionally writes a JSONL artifact (summary + latency
+histograms) and enforces absolute tail-latency / throughput gates for CI
+smoke runs (exit code 3 on violation).
+
+Examples::
+
+    repro-serve --rate 120000 --duration 2
+    repro-serve --trace onoff --rate 400000 --queue-capacity 1024
+    repro-serve --rate 50000 --gate-min-rate 20000 --gate-p99-ms 250 \\
+        --output serve_latency.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.core.heteromap import HeteroMap
+from repro.ioutil import atomic_write_text
+from repro.machine.specs import DEFAULT_PAIR
+from repro.obs.metrics import DEFAULT_BUCKETS
+from repro.runtime.deploy import prepare_workload
+from repro.runtime.loadgen import (
+    OpenLoopReport,
+    onoff_arrivals,
+    poisson_arrivals,
+    run_open_loop,
+)
+from repro.runtime.server import DecisionServer, ServerConfig, low_latency_gc
+
+__all__ = ["DEFAULT_POOL", "main"]
+
+#: The hot (benchmark, dataset) mix the trace cycles through — frontier,
+#: relaxation, and all-vertex kernels over small/mid datasets, matching
+#: the serving bench so numbers are comparable.
+DEFAULT_POOL = (
+    ("pagerank", "facebook"),
+    ("bfs", "facebook"),
+    ("sssp_bf", "usa-cal"),
+    ("connected_components", "cage14"),
+)
+
+
+def _histogram_line(kind: str, samples: list[float]) -> dict:
+    """One JSONL histogram record over the obs default (ms) bounds."""
+    bounds = list(DEFAULT_BUCKETS)
+    counts = np.histogram(
+        np.asarray(samples, dtype=np.float64), bins=[0.0, *bounds, np.inf]
+    )[0]
+    return {
+        "kind": kind,
+        "unit": "ms",
+        "bounds": bounds,
+        "counts": [int(c) for c in counts],
+        "count": len(samples),
+        "sum": float(np.sum(samples)) if samples else 0.0,
+    }
+
+
+def _write_artifact(
+    path: Path, report: OpenLoopReport, server: DecisionServer, args
+) -> None:
+    lines = [
+        {
+            "kind": "summary",
+            **report.as_dict(),
+            "trace": args.trace,
+            "offered_rate_per_sec": args.rate,
+            "max_batch": args.max_batch,
+            "flush_deadline_ms": args.flush_deadline_ms,
+            "queue_capacity": args.queue_capacity,
+            "tenants": args.tenants,
+            "mode": args.mode,
+            "predictor": args.predictor,
+            "seed": args.seed,
+        },
+        _histogram_line("decision_latency_ms", server.stats.latencies_ms),
+        _histogram_line("queue_wait_ms", server.stats.queue_waits_ms),
+    ]
+    atomic_write_text(
+        path, "".join(json.dumps(line) + "\n" for line in lines)
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--pair", nargs=2, default=list(DEFAULT_PAIR), metavar=("GPU", "MC"),
+        help="accelerator pair to serve decisions for",
+    )
+    parser.add_argument(
+        "--predictor", default="deep128",
+        help="predictor to serve (default: deep128)",
+    )
+    parser.add_argument(
+        "--train-samples", type=int, default=48,
+        help="offline training samples before serving starts (default: 48)",
+    )
+    parser.add_argument(
+        "--trace", choices=("poisson", "onoff"), default="poisson",
+        help="arrival process (default: poisson)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=120_000.0,
+        help="offered arrivals/sec — ON-window rate for onoff (default: 120000)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=2.0,
+        help="trace duration in seconds (default: 2.0)",
+    )
+    parser.add_argument(
+        "--burst-period", type=float, default=0.2,
+        help="onoff burst period in seconds (default: 0.2)",
+    )
+    parser.add_argument(
+        "--burst-duty", type=float, default=0.3,
+        help="onoff fraction of each period that is ON (default: 0.3)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=512,
+        help="dynamic-batching window size (default: 512)",
+    )
+    parser.add_argument(
+        "--flush-deadline-ms", type=float, default=2.0,
+        help="max wait before a partial batch flushes (default: 2.0)",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=16384,
+        help="admission queue bound before reject-with-retry-after "
+        "(default: 16384)",
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=1,
+        help="round-robin tenant count the trace is spread over (default: 1)",
+    )
+    parser.add_argument(
+        "--mode", choices=("plan", "decide", "run"), default="plan",
+        help="what each request resolves to (default: plan)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for training and the arrival trace (default: 0)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write a JSONL artifact (summary + latency histograms)",
+    )
+    parser.add_argument(
+        "--gate-min-rate", type=float, default=None, metavar="PER_SEC",
+        help="exit 3 unless sustained decisions/sec reaches this floor",
+    )
+    parser.add_argument(
+        "--gate-p99-ms", type=float, default=None, metavar="MS",
+        help="exit 3 if p99 decision latency exceeds this ceiling",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress informational output (errors still print)",
+    )
+    args = parser.parse_args(argv)
+    if args.quiet:
+        obs.set_quiet(True)
+    log = obs.get_logger("serve")
+
+    hetero = HeteroMap(
+        (args.pair[0], args.pair[1]), predictor=args.predictor, seed=args.seed
+    )
+    with obs.span("serve.train", predictor=args.predictor):
+        hetero.train(num_samples=args.train_samples, seed=args.seed)
+    pool = [prepare_workload(b, d) for b, d in DEFAULT_POOL]
+
+    if args.trace == "poisson":
+        arrivals = poisson_arrivals(args.rate, args.duration, seed=args.seed)
+    else:
+        arrivals = onoff_arrivals(
+            args.rate,
+            duration_s=args.duration,
+            period_s=args.burst_period,
+            duty=args.burst_duty,
+            seed=args.seed,
+        )
+    server = DecisionServer(
+        hetero.decisions,
+        ServerConfig(
+            max_batch=args.max_batch,
+            flush_deadline_ms=args.flush_deadline_ms,
+            queue_capacity=args.queue_capacity,
+            mode=args.mode,
+        ),
+        backend=hetero.engine.backend,
+    )
+    tenants = [f"tenant-{i}" for i in range(max(1, args.tenants))]
+
+    async def drive() -> OpenLoopReport:
+        async with server:
+            for workload in pool:  # warm the decision cache / memo
+                await server.submit(workload)
+            return await run_open_loop(
+                server, arrivals, pool, tenants=tenants, label=args.trace
+            )
+
+    with obs.span("serve.open_loop", trace=args.trace, offered=len(arrivals)):
+        with low_latency_gc():
+            report = asyncio.run(drive())
+
+    log.info(
+        "open_loop",
+        trace=args.trace,
+        offered=report.offered,
+        admitted=report.admitted,
+        rejected=report.rejected,
+        completed=report.completed,
+        dropped=report.dropped,
+        sustained_per_s=round(report.sustained_per_sec),
+        p50_ms=round(report.latency_p50_ms, 2),
+        p99_ms=round(report.latency_p99_ms, 2),
+        queue_wait_p99_ms=round(report.queue_wait_p99_ms, 2),
+        mean_batch=round(report.mean_batch, 1),
+        flushes=report.flushes,
+    )
+    if args.output:
+        path = Path(args.output)
+        _write_artifact(path, report, server, args)
+        log.info("artifact", path=str(path))
+
+    failed = []
+    if args.gate_min_rate is not None and (
+        report.sustained_per_sec < args.gate_min_rate
+    ):
+        failed.append(
+            f"sustained {report.sustained_per_sec:.0f}/s "
+            f"< floor {args.gate_min_rate:.0f}/s"
+        )
+    if args.gate_p99_ms is not None and report.latency_p99_ms > args.gate_p99_ms:
+        failed.append(
+            f"p99 {report.latency_p99_ms:.2f}ms > ceiling {args.gate_p99_ms:.2f}ms"
+        )
+    if report.dropped:
+        failed.append(f"{report.dropped} admitted requests dropped")
+    if failed:
+        log.error("gate_failed", reasons="; ".join(failed))
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

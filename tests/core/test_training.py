@@ -98,6 +98,54 @@ class TestParallelBuild:
         db = build_training_database(GPU, PHI, num_samples=1, seed=0, workers=4)
         assert len(db) == 1
 
+    def test_forced_parallel_byte_identical(self, tmp_path, monkeypatch):
+        """Force the pool path (small threshold, fake CPU count) and check
+        the database is still byte-identical to the serial build."""
+        from repro.core import training
+
+        monkeypatch.setattr(training, "_MIN_SAMPLES_PER_WORKER", 2)
+        monkeypatch.setattr(training, "available_cpus", lambda: 8)
+        serial = build_training_database(GPU, PHI, num_samples=8, seed=3, workers=1)
+        parallel = build_training_database(GPU, PHI, num_samples=8, seed=3, workers=2)
+        serial.save(tmp_path / "serial.json")
+        parallel.save(tmp_path / "parallel.json")
+        assert (tmp_path / "serial.json").read_bytes() == (
+            tmp_path / "parallel.json"
+        ).read_bytes()
+
+
+class TestEffectiveWorkers:
+    def test_available_cpus_positive(self):
+        from repro.core.training import available_cpus
+
+        assert available_cpus() >= 1
+
+    def test_clamped_to_cpus(self, monkeypatch):
+        from repro.core import training
+
+        monkeypatch.setattr(training, "available_cpus", lambda: 2)
+        assert training._effective_workers(8, 10_000) == 2
+
+    def test_serial_when_single_cpu(self, monkeypatch):
+        from repro.core import training
+
+        monkeypatch.setattr(training, "available_cpus", lambda: 1)
+        assert training._effective_workers(8, 10_000) == 1
+
+    def test_serial_below_amortization_floor(self, monkeypatch):
+        from repro.core import training
+
+        monkeypatch.setattr(training, "available_cpus", lambda: 8)
+        floor = training._MIN_SAMPLES_PER_WORKER
+        assert training._effective_workers(4, 4 * floor - 1) == 1
+        assert training._effective_workers(4, 4 * floor) == 4
+
+    def test_workers_one_is_serial(self, monkeypatch):
+        from repro.core import training
+
+        monkeypatch.setattr(training, "available_cpus", lambda: 8)
+        assert training._effective_workers(1, 10_000) == 1
+
 
 class TestDatabasePersistence:
     def test_roundtrip(self, tmp_path):

@@ -85,9 +85,57 @@ class TestDecisionCache:
         with pytest.raises(ValueError):
             entry.vector[0] = 9.9
 
+    def test_interleaved_batches_evict_in_recency_order(self):
+        """Two interleaved request streams share one LRU: a key kept hot
+        by either stream survives; the key neither stream touches goes."""
+        cache = DecisionCache(capacity=2)
+        # Batch 1 (stream A): keys a, b.
+        cache.put(("a",), _entry(1))
+        cache.put(("b",), _entry(2))
+        # Batch 2 (stream B) interleaves and re-touches a.
+        assert cache.get(("a",)) is not None
+        cache.put(("c",), _entry(3))  # evicts b (LRU), not a
+        assert ("a",) in cache
+        assert ("b",) not in cache
+        # Batch 3 (stream A again) misses b, hits c.
+        assert cache.get(("b",)) is None
+        assert cache.get(("c",)) is not None
+        cache.put(("b",), _entry(4))
+        assert ("a",) not in cache  # c was refreshed by the batch-3 hit
+        assert cache.stats.evictions == 2  # b on c's insert, a on b's re-insert
+
+    def test_interleaved_batches_stats_consistent(self):
+        cache = DecisionCache(capacity=2)
+        batches = [
+            [("x",), ("y",)],
+            [("x",), ("z",)],  # x hot across in-flight windows
+            [("y",), ("x",)],
+        ]
+        for batch in batches:
+            for key in batch:
+                if cache.get(key) is None:
+                    cache.put(key, _entry(1))
+        stats = cache.stats
+        assert stats.lookups == 6
+        assert stats.hits + stats.misses == stats.lookups
+        # x: miss, hit, then evicted by y's batch-3 re-insert -> miss;
+        # y: miss, miss (evicted by z); z: miss.
+        assert stats.hits == 1
+        assert stats.misses == 5
+
 
 @pytest.fixture(scope="module")
 def trained():
+    # A cache-preferring predictor: CART opts out of the decision cache
+    # (prefer_decision_cache = False), so the cache-path tests below use a
+    # small MLP instead.  CART's bypass has its own tests (TestCacheBypass).
+    hetero = HeteroMap.with_default_pair(predictor="deep16", seed=5)
+    hetero.train(num_samples=40, seed=5)
+    return hetero
+
+
+@pytest.fixture(scope="module")
+def trained_cart():
     hetero = HeteroMap.with_default_pair(predictor="cart", seed=5)
     hetero.train(num_samples=40, seed=5)
     return hetero
@@ -114,14 +162,27 @@ class TestPlanBatch:
         assert plans[0][0] is plans[1][0]
         assert plans[0][1] == plans[1][1]
 
-    def test_matches_scalar_predict(self, trained):
-        """Batched plans equal the scalar online path's decisions."""
+    def test_matches_scalar_predict(self, trained_cart):
+        """Batched plans equal the scalar online path's decisions.
+
+        Exact equality needs a predictor whose batched forward is
+        bit-identical to its row forward — true for CART's lockstep
+        descent; an MLP's batched matmul can drift by ULPs.
+        """
         workloads = [prepare_workload(b, d) for b, d in ITEMS]
-        plans = trained.plan_batch(workloads)
+        plans = trained_cart.plan_batch(workloads)
         for workload, (spec, config) in zip(workloads, plans):
-            scalar_spec, scalar_config = trained.predict(workload)
+            scalar_spec, scalar_config = trained_cart.predict(workload)
             assert spec is scalar_spec
             assert config == scalar_config
+
+    def test_agrees_with_scalar_predict_choice(self, trained):
+        """Batched and scalar paths agree on the accelerator choice."""
+        workloads = [prepare_workload(b, d) for b, d in ITEMS]
+        plans = trained.plan_batch(workloads)
+        for workload, (spec, _) in zip(workloads, plans):
+            scalar_spec, _ = trained.predict(workload)
+            assert spec is scalar_spec
 
     def test_cache_hits_bit_identical(self, trained):
         """A cache hit returns the identical decision, not a recompute."""
@@ -142,7 +203,7 @@ class TestPlanBatch:
         assert trained.decision_cache.stats.misses - before == 3
 
     def test_train_clears_cache(self):
-        hetero = HeteroMap.with_default_pair(predictor="cart", seed=6)
+        hetero = HeteroMap.with_default_pair(predictor="deep16", seed=6)
         hetero.train(num_samples=30, seed=6)
         hetero.plan_batch(ITEMS)
         assert len(hetero.decision_cache) > 0
@@ -158,6 +219,50 @@ class TestPlanBatch:
         plans = hetero.plan_batch(ITEMS)
         assert len(plans) == len(ITEMS)
         # Duplicates still agree via the in-batch memo.
+        assert plans[0][1] == plans[2][1]
+
+
+class TestCacheBypass:
+    """CART opts out of the LRU cache: its batched descent beats a hit."""
+
+    def test_cart_prefers_batched_forward(self, trained_cart):
+        assert trained_cart.predictor.prefer_decision_cache is False
+        assert trained_cart.decisions.cache_active is False
+        # The cache object still exists (decide()-style callers may want
+        # it later) but plan_batch must not touch it.
+        assert trained_cart.decision_cache is not None
+
+    def test_cache_preferring_predictor_stays_cached(self, trained):
+        assert trained.predictor.prefer_decision_cache is True
+        assert trained.decisions.cache_active is True
+
+    def test_bypass_leaves_cache_untouched(self, trained_cart):
+        trained_cart.decision_cache.clear()
+        before = (
+            trained_cart.decision_cache.stats.hits,
+            trained_cart.decision_cache.stats.misses,
+        )
+        trained_cart.plan_batch(ITEMS)
+        trained_cart.plan_batch(ITEMS)
+        after = (
+            trained_cart.decision_cache.stats.hits,
+            trained_cart.decision_cache.stats.misses,
+        )
+        assert after == before
+        assert len(trained_cart.decision_cache) == 0
+
+    def test_bypass_decisions_match_repeat_calls(self, trained_cart):
+        """Bypassing is decision-neutral: repeat batches agree exactly."""
+        first = trained_cart.plan_batch(ITEMS)
+        second = trained_cart.plan_batch(ITEMS)
+        for (spec_a, config_a), (spec_b, config_b) in zip(first, second):
+            assert spec_a is spec_b
+            assert config_a == config_b
+
+    def test_in_batch_memo_still_dedupes(self, trained_cart):
+        plans = trained_cart.plan_batch(ITEMS)
+        # Items 0 and 2 are the duplicate pair.
+        assert plans[0][0] is plans[2][0]
         assert plans[0][1] == plans[2][1]
 
 

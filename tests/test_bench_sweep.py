@@ -14,6 +14,8 @@ def run_main(tmp_path, *extra):
         "--samples", "2",
         "--workers", "2",
         "--repeats", "1",
+        "--serve-duration", "0.2",
+        "--serve-train-samples", "8",
         "--output", str(output),
         *extra,
     ]
@@ -68,6 +70,20 @@ class TestRegressionCheck:
     def test_missing_sections_ignored(self):
         assert check_regressions({}, {"lattice_sweep": {}}) == []
 
+    def test_latency_gate_flags_growth(self):
+        old = {"serving_async": {"poisson_p99_ms": 10.0}}
+        ok = {"serving_async": {"poisson_p99_ms": 12.0}}
+        bad = {"serving_async": {"poisson_p99_ms": 13.0}}
+        assert check_regressions(old, ok) == []
+        flagged = check_regressions(old, bad)
+        assert len(flagged) == 1
+        assert "lower is better" in flagged[0]
+
+    def test_latency_gate_ignores_improvement(self):
+        old = {"serving_async": {"poisson_p99_ms": 10.0}}
+        better = {"serving_async": {"poisson_p99_ms": 2.0}}
+        assert check_regressions(old, better) == []
+
 
 class TestSectionSelection:
     def test_partial_run_merges_over_baseline(self, tmp_path):
@@ -99,3 +115,19 @@ class TestSectionSelection:
             assert section[f"{name}_batched_per_sec"] > 0
             assert section[f"{name}_cached_per_sec"] > 0
             assert section[f"{name}_batch_speedup"] > 0
+
+    def test_serving_async_payload(self, tmp_path):
+        rc, output = run_main(tmp_path, "--sections", "serving_async")
+        assert rc == 0
+        payload = json.loads(output.read_text())
+        assert "lattice_sweep" not in payload
+        section = payload["serving_async"]
+        assert section["closed_loop_capacity_per_sec"] > 0
+        assert section["poisson_decisions_per_sec"] > 0
+        assert section["poisson_p99_ms"] >= section["poisson_p50_ms"] >= 0
+        assert section["onoff_decisions_per_sec"] > 0
+        # Admitted requests always resolve; rejection is the only shedding.
+        assert section["poisson_dropped"] == 0
+        assert section["onoff_dropped"] == 0
+        # Async serving must not change decisions, only their timing.
+        assert section["plan_batch_identical"] is True
