@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-force bench-serve bench-scheduler bench-serving \
-	serve fuzz fuzz-deep obs-report
+.PHONY: test bench bench-force bench-serve bench-scheduler bench-fleet \
+	bench-serving serve fuzz fuzz-deep obs-report
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +33,11 @@ bench-serve:
 # load-aware vs makespan) plus end-to-end run_fleet throughput.
 bench-scheduler:
 	$(PYTHON) benchmarks/bench_sweep.py --sections scheduler
+
+# Only the fleet-scaling section: decisions/sec and load-aware makespan
+# speedup over solo at synthetic fleet sizes N=2/4/8.
+bench-fleet:
+	$(PYTHON) benchmarks/bench_sweep.py --sections fleet_scaling
 
 # Only the async-serving section: closed-loop capacity probe, then
 # calibrated open-loop Poisson + bursty ON/OFF traces through the

@@ -14,6 +14,9 @@ Measures the hot paths the batch evaluator exists for and records them to
 * fleet scheduling — batch makespan of a mixed workload batch under the
   engine's ``solo`` / ``load-aware`` / ``makespan`` placement policies,
   plus end-to-end fleet throughput in items/sec,
+* fleet scaling — decision throughput (decisions/sec) and load-aware
+  makespan speedup over solo at synthetic fleet sizes N=2/4/8, showing
+  how the decide + place path scales with device count,
 * async serving — the dynamic-batching front end under seeded open-loop
   Poisson and bursty ON/OFF traces: a closed-loop capacity probe, then
   sustained decisions/sec and p50/p99 decision latency at a calibrated
@@ -67,8 +70,12 @@ SECTION_NAMES = (
     "db_build",
     "predict_throughput",
     "scheduler",
+    "fleet_scaling",
     "serving_async",
 )
+
+#: Synthetic fleet sizes the scaling bench sweeps.
+FLEET_SIZES = (2, 4, 8)
 
 #: Predictors the serving bench times: the deep128 flagship plus both
 #: tree baselines (analytical + learned CART).
@@ -86,6 +93,7 @@ _GATED_METRICS = (
     ("predict_throughput", "deep128_batched_per_sec"),
     ("predict_throughput", "deep128_cached_per_sec"),
     ("scheduler", "fleet_items_per_sec"),
+    ("fleet_scaling", "n4_decisions_per_sec"),
     ("serving_async", "poisson_decisions_per_sec"),
 )
 
@@ -326,6 +334,56 @@ def bench_scheduler(
     return results
 
 
+def bench_fleet_scaling(
+    *,
+    train_samples: int = 32,
+    repeats: int = 3,
+    seed: int = 0,
+    sizes: tuple[int, ...] = FLEET_SIZES,
+) -> dict[str, float]:
+    """Measure how decide + place scales with synthetic fleet size.
+
+    For each N in ``sizes``, builds a :func:`synthetic_fleet` HeteroMap
+    (CART predictor, so the decision cache is bypassed and every timed
+    pass re-decides), times ``decide_batch`` over the scheduler batch in
+    decisions/sec, and records the load-aware makespan speedup over the
+    solo baseline.  Per-device estimation work grows linearly in N, so
+    decisions/sec is expected to fall as the fleet grows — the bench
+    records the curve so that regression stands out from constant-factor
+    slowdowns.
+    """
+    from repro.core.heteromap import HeteroMap
+    from repro.machine.fleet import synthetic_fleet
+
+    workloads = [prepare_workload(b, d) for b, d in _SCHEDULER_BATCH]
+    results: dict[str, float] = {
+        "batch": len(workloads),
+        "train_samples": train_samples,
+        "sizes": list(sizes),
+    }
+    for size in sizes:
+        hetero = HeteroMap(
+            synthetic_fleet(size), predictor="cart", seed=seed
+        )
+        hetero.train(num_samples=train_samples, seed=seed)
+        hetero.decisions.decide_batch(workloads)  # warm allocator + tables
+        decide_s = min(
+            _timed(lambda: hetero.decisions.decide_batch(workloads))
+            for _ in range(max(1, repeats))
+        )
+        solo = hetero.run_fleet(workloads, policy="solo")
+        load_aware = hetero.run_fleet(workloads, policy="load-aware")
+        results[f"n{size}_decisions_per_sec"] = len(workloads) / decide_s
+        results[f"n{size}_solo_makespan_ms"] = solo.makespan_ms
+        results[f"n{size}_load_aware_makespan_ms"] = load_aware.makespan_ms
+        results[f"n{size}_speedup"] = (
+            solo.makespan_ms / load_aware.makespan_ms
+            if load_aware.makespan_ms
+            else 1.0
+        )
+    return results
+
+
 #: The workload pool the async-serving bench cycles through: the same hot
 #: keys a production front end would see (cache hits after warmup).
 _SERVING_POOL = (
@@ -509,6 +567,10 @@ def run_bench(
         )
     if "scheduler" in sections:
         payload["scheduler"] = bench_scheduler(pair, repeats=repeats, seed=seed)
+    if "fleet_scaling" in sections:
+        payload["fleet_scaling"] = bench_fleet_scaling(
+            repeats=repeats, seed=seed
+        )
     if "serving_async" in sections:
         payload["serving_async"] = bench_serving_async(
             pair,
@@ -665,6 +727,19 @@ def main(argv: list[str] | None = None) -> int:
             load_aware_speedup=round(sched["load_aware_speedup"], 2),
             fleet_items_per_s=round(sched["fleet_items_per_sec"], 1),
         )
+
+    if "fleet_scaling" in payload:
+        scaling = payload["fleet_scaling"]
+        for size in FLEET_SIZES:
+            if f"n{size}_decisions_per_sec" not in scaling:
+                continue
+            log.info(
+                "fleet_scaling",
+                devices=size,
+                decisions_per_s=round(scaling[f"n{size}_decisions_per_sec"], 1),
+                solo_makespan_ms=round(scaling[f"n{size}_solo_makespan_ms"], 1),
+                load_aware_speedup=round(scaling[f"n{size}_speedup"], 2),
+            )
 
     if "serving_async" in payload:
         serve = payload["serving_async"]

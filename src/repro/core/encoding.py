@@ -27,6 +27,7 @@ __all__ = [
     "encode_config",
     "decode_config",
     "decode_config_batch",
+    "decode_config_for",
     "choice_signature",
 ]
 
@@ -163,17 +164,94 @@ def decode_config_batch(
     equivalence is pinned by tests, because the exactness of the serving
     cache depends on it.
     """
+    vectors = _validated_matrix(vectors)
+    if vectors.shape[0] == 0:
+        return []
+    multicore_rows = (vectors[:, 0] >= 0.5).tolist()
+    mc = _multicore_knob_lists(vectors, multicore)
+    gp = _gpu_knob_lists(vectors, gpu)
+
+    # Per-row fan-out.  Knobs are snapped to a discrete lattice, so many
+    # rows decode to the same configuration; MachineConfig is frozen, so
+    # duplicate rows can share one instance — construction (the dominant
+    # per-row cost) runs once per *unique* decoded config.
+    memo: dict[tuple, tuple[AcceleratorSpec, MachineConfig]] = {}
+    decoded: list[tuple[AcceleratorSpec, MachineConfig]] = []
+    for row in range(vectors.shape[0]):
+        if multicore_rows[row]:
+            key = _multicore_key(mc, row)
+        else:
+            key = _gpu_key(gp, row)
+        entry = memo.get(key)
+        if entry is None:
+            if key[0]:
+                entry = (multicore, _multicore_config(multicore, mc, row))
+            else:
+                entry = (gpu, _gpu_config(gpu, gp, row))
+            memo[key] = entry
+        decoded.append(entry)
+    return decoded
+
+
+def decode_config_for(
+    vectors: np.ndarray, spec: AcceleratorSpec
+) -> list[MachineConfig]:
+    """Decode an ``(n, NUM_TARGETS)`` prediction matrix onto ONE device.
+
+    The fleet generalization of :func:`decode_config_batch`: the M1
+    accelerator bit is *ignored* and every row's knobs are decoded onto
+    ``spec`` using its own architectural parameters.  For the device the
+    M1 bit names this is bit-identical to :func:`decode_config_batch`;
+    for a device of the opposite kind it is bit-identical to re-decoding
+    the vector with the M1 bit flipped (the pre-fleet runner-up path) —
+    both pinned by the fleet property tests, because the N=2 fleet must
+    reproduce the historical pair decisions exactly.
+    """
+    vectors = _validated_matrix(vectors)
+    if vectors.shape[0] == 0:
+        return []
+    memo: dict[tuple, MachineConfig] = {}
+    configs: list[MachineConfig] = []
+    if spec.is_gpu:
+        gp = _gpu_knob_lists(vectors, spec)
+        for row in range(vectors.shape[0]):
+            key = _gpu_key(gp, row)
+            config = memo.get(key)
+            if config is None:
+                config = _gpu_config(spec, gp, row)
+                memo[key] = config
+            configs.append(config)
+    else:
+        mc = _multicore_knob_lists(vectors, spec)
+        for row in range(vectors.shape[0]):
+            key = _multicore_key(mc, row)
+            config = memo.get(key)
+            if config is None:
+                config = _multicore_config(spec, mc, row)
+                memo[key] = config
+            configs.append(config)
+    return configs
+
+
+def _validated_matrix(vectors: np.ndarray) -> np.ndarray:
+    """Clip and shape-check a prediction matrix."""
     vectors = np.clip(np.asarray(vectors, dtype=np.float64), 0.0, 1.0)
     if vectors.ndim != 2 or vectors.shape[1] != NUM_TARGETS:
         raise ValueError(
             f"expected an (n, {NUM_TARGETS}) prediction matrix, got "
             f"{vectors.shape}"
         )
-    if vectors.shape[0] == 0:
-        return []
-    is_multicore = vectors[:, 0] >= 0.5
+    return vectors
 
-    # Multicore knobs (M2-M12), mirroring the scalar formulas exactly.
+
+def _multicore_knob_lists(
+    vectors: np.ndarray, multicore: AcceleratorSpec
+) -> tuple[list, ...]:
+    """Multicore knobs (M2-M12) for every row, as plain-scalar lists.
+
+    Mirrors the scalar formulas exactly; ``tolist()`` up front keeps the
+    per-row fan-out loops on plain Python scalars.
+    """
     cores = np.minimum(
         np.maximum(1, np.round(vectors[:, 1] * multicore.cores)),
         multicore.cores,
@@ -193,9 +271,28 @@ def decode_config_batch(
     chunk = np.maximum(1, np.round(16.0 * (1024.0 / 16.0) ** chunk_frac)).astype(
         np.int64
     )
-    schedule_value = vectors[:, 7]
+    schedules = [
+        OmpSchedule.STATIC
+        if value < 0.25
+        else (OmpSchedule.DYNAMIC if value < 0.75 else OmpSchedule.GUIDED)
+        for value in vectors[:, 7].tolist()
+    ]
+    return (
+        cores.tolist(),
+        tpc.tolist(),
+        simd.tolist(),
+        blocktime.tolist(),
+        chunk.tolist(),
+        schedules,
+        vectors[:, 5].tolist(),  # placement
+        vectors[:, 6].tolist(),  # affinity
+    )
 
-    # GPU knobs (M19-M20) plus their ceiling clamps.
+
+def _gpu_knob_lists(
+    vectors: np.ndarray, gpu: AcceleratorSpec
+) -> tuple[list, list]:
+    """GPU knobs (M19-M20) for every row, ceiling-clamped, as lists."""
     gthreads = np.minimum(
         np.maximum(1, np.round(vectors[:, 8] * gpu.max_threads)),
         gpu.max_threads,
@@ -204,70 +301,57 @@ def decode_config_batch(
     lthreads = np.minimum(
         np.maximum(1, np.round(32.0 * (1024.0 / 32.0) ** local_frac)), 1024
     ).astype(np.int64)
+    return gthreads.tolist(), lthreads.tolist()
 
-    # Per-row fan-out.  Knobs are snapped to a discrete lattice, so many
-    # rows decode to the same configuration; MachineConfig is frozen, so
-    # duplicate rows can share one instance — construction (the dominant
-    # per-row cost) runs once per *unique* decoded config.  tolist() up
-    # front keeps the loop on plain Python scalars.
-    multicore_rows = is_multicore.tolist()
-    schedule_values = schedule_value.tolist()
-    cores_list, tpc_list, simd_list = cores.tolist(), tpc.tolist(), simd.tolist()
-    blocktime_list, chunk_list = blocktime.tolist(), chunk.tolist()
-    placement_list, affinity_list = vectors[:, 5].tolist(), vectors[:, 6].tolist()
-    gthreads_list, lthreads_list = gthreads.tolist(), lthreads.tolist()
 
-    memo: dict[tuple, tuple[AcceleratorSpec, MachineConfig]] = {}
-    decoded: list[tuple[AcceleratorSpec, MachineConfig]] = []
-    for row in range(vectors.shape[0]):
-        if multicore_rows[row]:
-            value = schedule_values[row]
-            if value < 0.25:
-                schedule = OmpSchedule.STATIC
-            elif value < 0.75:
-                schedule = OmpSchedule.DYNAMIC
-            else:
-                schedule = OmpSchedule.GUIDED
-            key = (
-                True,
-                cores_list[row],
-                tpc_list[row],
-                simd_list[row],
-                blocktime_list[row],
-                placement_list[row],
-                affinity_list[row],
-                schedule,
-                chunk_list[row],
-            )
-        else:
-            key = (False, gthreads_list[row], lthreads_list[row])
-        entry = memo.get(key)
-        if entry is None:
-            if key[0]:
-                config = _trusted_config(
-                    accelerator=multicore.name,
-                    cores=cores_list[row],
-                    threads_per_core=tpc_list[row],
-                    simd_width=simd_list[row],
-                    blocktime_ms=blocktime_list[row],
-                    placement_core=placement_list[row],
-                    placement_thread=placement_list[row],
-                    placement_offset=placement_list[row],
-                    affinity=affinity_list[row],
-                    omp_schedule=schedule,
-                    omp_chunk=chunk_list[row],
-                )
-                entry = (multicore, config)
-            else:
-                config = _trusted_config(
-                    accelerator=gpu.name,
-                    gpu_global_threads=gthreads_list[row],
-                    gpu_local_threads=lthreads_list[row],
-                )
-                entry = (gpu, config)
-            memo[key] = entry
-        decoded.append(entry)
-    return decoded
+def _multicore_key(mc: tuple[list, ...], row: int) -> tuple:
+    cores, tpc, simd, blocktime, chunk, schedules, placement, affinity = mc
+    return (
+        True,
+        cores[row],
+        tpc[row],
+        simd[row],
+        blocktime[row],
+        placement[row],
+        affinity[row],
+        schedules[row],
+        chunk[row],
+    )
+
+
+def _gpu_key(gp: tuple[list, list], row: int) -> tuple:
+    gthreads, lthreads = gp
+    return (False, gthreads[row], lthreads[row])
+
+
+def _multicore_config(
+    multicore: AcceleratorSpec, mc: tuple[list, ...], row: int
+) -> MachineConfig:
+    cores, tpc, simd, blocktime, chunk, schedules, placement, affinity = mc
+    return _trusted_config(
+        accelerator=multicore.name,
+        cores=cores[row],
+        threads_per_core=tpc[row],
+        simd_width=simd[row],
+        blocktime_ms=blocktime[row],
+        placement_core=placement[row],
+        placement_thread=placement[row],
+        placement_offset=placement[row],
+        affinity=affinity[row],
+        omp_schedule=schedules[row],
+        omp_chunk=chunk[row],
+    )
+
+
+def _gpu_config(
+    gpu: AcceleratorSpec, gp: tuple[list, list], row: int
+) -> MachineConfig:
+    gthreads, lthreads = gp
+    return _trusted_config(
+        accelerator=gpu.name,
+        gpu_global_threads=gthreads[row],
+        gpu_local_threads=lthreads[row],
+    )
 
 
 def choice_signature(

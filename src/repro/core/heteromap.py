@@ -1,11 +1,12 @@
 """HeteroMap: the end-to-end framework (Figure 8's flow).
 
-``HeteroMap`` owns an accelerator pair, an offline-trained predictor, and
-the deployment plumbing:
+``HeteroMap`` owns an accelerator fleet (the paper's pair is the N=2
+case), an offline-trained predictor, and the deployment plumbing:
 
 1. **offline** — :meth:`train` generates synthetic benchmark/input
-   combinations, auto-tunes them on the simulated pair, and fits the
-   configured predictor on the resulting database;
+   combinations, auto-tunes them on the simulated reference pair (the
+   fleet's primary GPU and multicore), and fits the configured predictor
+   on the resulting database;
 2. **online** — :meth:`run` discretizes a real benchmark-input combination
    into (B, I), predicts M choices, deploys on the chosen accelerator, and
    reports the completion time *including* the predictor's measured
@@ -14,7 +15,7 @@ the deployment plumbing:
 The online path is a thin composition over the layered fleet runtime in
 :mod:`repro.runtime.engine`: a
 :class:`~repro.runtime.engine.decision.DecisionService` (cached batched
-prediction, costed on both accelerators), a
+prediction, costed on every fleet device), a
 :class:`~repro.runtime.engine.scheduler.Scheduler` (``solo`` /
 ``load-aware`` / ``makespan`` placement policies), and a pluggable
 :class:`~repro.runtime.engine.execution.ExecutionBackend`.
@@ -38,9 +39,10 @@ from repro.core.database import TrainingDatabase
 from repro.core.overhead import measure_overhead_ms
 from repro.core.predictors import LearnedPredictor, make_predictor
 from repro.core.training import build_training_database
-from repro.errors import NotTrainedError, UnknownAcceleratorError
+from repro.errors import NotTrainedError
+from repro.machine.fleet import Fleet
 from repro.machine.mvars import MachineConfig, default_config
-from repro.machine.specs import DEFAULT_PAIR, AcceleratorSpec, get_accelerator
+from repro.machine.specs import DEFAULT_PAIR, AcceleratorSpec
 from repro.runtime.deploy import (
     Workload,
     WorkloadLike,
@@ -63,11 +65,11 @@ __all__ = ["HeteroMap", "RunOutcome"]
 
 
 class HeteroMap:
-    """Runtime performance predictor for a two-accelerator system."""
+    """Runtime performance predictor for an N-accelerator system."""
 
     def __init__(
         self,
-        pair: tuple[str, str] = DEFAULT_PAIR,
+        fleet: "Fleet | Iterable[str | AcceleratorSpec]" = DEFAULT_PAIR,
         *,
         predictor: str = "deep128",
         metric: str = "time",
@@ -78,8 +80,14 @@ class HeteroMap:
         """Configure a HeteroMap instance.
 
         Args:
-            pair: (gpu, multicore) accelerator registry names, in either
-                order — they are sorted into (gpu, multicore) roles.
+            fleet: the device set — a :class:`~repro.machine.fleet.Fleet`,
+                or an iterable of accelerator registry names and/or
+                :class:`AcceleratorSpec` objects, in any order.  Needs at
+                least one GPU and one multicore; the historical
+                ``(gpu, multicore)`` pair is simply the N=2 case.
+                Devices are ordered GPUs first (input order within each
+                kind), which keeps pair reports in their historical
+                ``(gpu, multicore)`` row order.
             predictor: learner name (see ``predictor_names()``).
             metric: tuning objective — "time", "energy", or "edp".
             seed: seed for training-set generation and learner init.
@@ -91,20 +99,16 @@ class HeteroMap:
                 cost-model :class:`SimulatedBackend`.
 
         Raises:
-            UnknownAcceleratorError: when the pair is not one GPU plus
-                one multicore.
+            UnknownAcceleratorError: for unregistered names, duplicate
+                devices, or a fleet missing either M1 kind.
             ValueError: for a malformed ``REPRO_DECISION_CACHE``.
         """
-        specs = [get_accelerator(name) for name in pair]
-        gpus = [spec for spec in specs if spec.is_gpu]
-        multicores = [spec for spec in specs if not spec.is_gpu]
-        if len(gpus) != 1 or len(multicores) != 1:
-            raise UnknownAcceleratorError(
-                "pair must contain exactly one GPU and one multicore, got "
-                f"{pair}"
-            )
-        self.gpu: AcceleratorSpec = gpus[0]
-        self.multicore: AcceleratorSpec = multicores[0]
+        base = fleet if isinstance(fleet, Fleet) else Fleet.from_names(fleet)
+        # GPUs first, then multicores, keeping input order within each
+        # kind: the pair's FleetReport rows stay (gpu, multicore).
+        self.fleet = Fleet(base.gpus + base.multicores)
+        self.gpu: AcceleratorSpec = self.fleet.primary_gpu
+        self.multicore: AcceleratorSpec = self.fleet.primary_multicore
         self.metric = metric
         self.seed = seed
         self.predictor_name = predictor
@@ -117,19 +121,25 @@ class HeteroMap:
         )
         self.decisions = DecisionService(
             self.predictor,
-            self.gpu,
-            self.multicore,
+            self.fleet,
             predictor_name=predictor,
             metric=metric,
             cache=DecisionCache(capacity) if capacity > 0 else None,
         )
-        self.scheduler = Scheduler(self.gpu, self.multicore)
+        self.scheduler = Scheduler(self.fleet)
         self.engine = Engine(self.decisions, self.scheduler, backend)
 
     @classmethod
     def with_default_pair(cls, **kwargs) -> "HeteroMap":
         """The paper's primary setup: GTX-750Ti + Xeon Phi 7120P."""
         return cls(DEFAULT_PAIR, **kwargs)
+
+    @classmethod
+    def with_fleet(
+        cls, names: "Iterable[str | AcceleratorSpec]", **kwargs
+    ) -> "HeteroMap":
+        """An N-device fleet from registry names and/or specs."""
+        return cls(Fleet.from_names(names), **kwargs)
 
     @property
     def decision_cache(self) -> DecisionCache | None:
@@ -304,10 +314,10 @@ class HeteroMap:
         return run_workload(workload, spec, default_config(spec))
 
     def run_ideal(self, workload: Workload) -> SimulationResult:
-        """The ideal oracle: best lattice point across both accelerators,
-        with no predictor overhead."""
+        """The ideal oracle: best lattice point across every fleet
+        device, with no predictor overhead."""
         candidates = [
             best_on_accelerator(workload.profile, spec, metric=self.metric)
-            for spec in (self.gpu, self.multicore)
+            for spec in self.fleet.devices
         ]
         return min(candidates, key=lambda result: result.objective(self.metric))

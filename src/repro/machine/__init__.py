@@ -1,5 +1,6 @@
 """Machine model: accelerator specs and the M-variable configuration space."""
 
+from repro.machine.fleet import Fleet, spec_fingerprint, synthetic_fleet
 from repro.machine.mvars import (
     M_VARIABLE_NAMES,
     MachineConfig,
@@ -32,6 +33,7 @@ __all__ = [
     "AcceleratorKind",
     "AcceleratorSpec",
     "DEFAULT_PAIR",
+    "Fleet",
     "M_VARIABLE_NAMES",
     "MachineConfig",
     "OmpSchedule",
@@ -43,6 +45,8 @@ __all__ = [
     "iter_configs",
     "lattice_size",
     "multicore_lattice",
+    "spec_fingerprint",
+    "synthetic_fleet",
     "thread_sweep_configs",
     "total_threads",
     "with_memory_gb",

@@ -5,9 +5,10 @@ through the frozen dataclasses here:
 
 * the **decision layer** turns a :class:`~repro.runtime.deploy.Workload`
   into a :class:`Decision` — the predictor's chosen deployment *plus*
-  the model-costed :class:`DeviceEstimate` for **both** accelerators
-  (the runner-up side is the same predicted knob vector with the M1
-  accelerator bit flipped, decoded onto the other device);
+  the model-costed :class:`DeviceEstimate` for **every** device in the
+  fleet (each device decodes the same predicted knob vector with its own
+  architectural parameters; on the two-device fleet this is exactly the
+  historical "flip the M1 bit" runner-up);
 * the **placement layer** turns decisions into :class:`Placement`\\ s —
   a concrete (device, config) assignment with simulated start/finish
   times on per-device clocks;
@@ -63,17 +64,21 @@ class DeviceEstimate:
 class Decision:
     """The decision layer's verdict for one workload.
 
-    ``chosen`` is the deployment the predictor picked; ``other`` is the
-    same predicted knob vector with the accelerator bit flipped and
-    decoded onto the opposite device — what the predictor *would* have
-    deployed had it made the other inter-accelerator call.  Carrying
-    both estimates is what lets the placement layer trade the chosen
-    device against the other one when the fleet is contended.
+    ``estimates`` is the full per-device cost vector, fleet order: the
+    predicted knob vector decoded onto *every* device in the fleet and
+    costed by the model.  ``chosen_index`` points at the deployment the
+    decision layer picked (the predictor's M1 kind, then argmin within
+    it); ``runner_up_index`` at the next-best alternative.  Carrying the
+    whole vector is what lets the placement layer trade the chosen
+    device against any other one when the fleet is contended — on the
+    two-device fleet this degenerates exactly to the historical
+    chosen/other pair, which the compatibility properties expose.
     """
 
     workload: Workload
-    chosen: DeviceEstimate
-    other: DeviceEstimate
+    estimates: tuple[DeviceEstimate, ...]  # per-device options, fleet order
+    chosen_index: int
+    runner_up_index: int
     vector: np.ndarray  # read-only predicted M target vector
     features: tuple[float, ...]  # the 17 (B, I) inputs, B1..B13 then I1..I4
 
@@ -81,6 +86,29 @@ class Decision:
         vector = np.array(self.vector, dtype=np.float64, copy=True)
         vector.setflags(write=False)
         object.__setattr__(self, "vector", vector)
+        estimates = tuple(self.estimates)
+        object.__setattr__(self, "estimates", estimates)
+        if not estimates:
+            raise ValueError("a Decision needs at least one device estimate")
+        for label, index in (
+            ("chosen_index", self.chosen_index),
+            ("runner_up_index", self.runner_up_index),
+        ):
+            if not 0 <= index < len(estimates):
+                raise ValueError(
+                    f"{label} {index} out of range for "
+                    f"{len(estimates)} estimates"
+                )
+
+    @property
+    def chosen(self) -> DeviceEstimate:
+        """The deployment the decision layer picked."""
+        return self.estimates[self.chosen_index]
+
+    @property
+    def other(self) -> DeviceEstimate:
+        """The runner-up deployment (the opposite device on a pair)."""
+        return self.estimates[self.runner_up_index]
 
     @property
     def spec(self) -> AcceleratorSpec:
@@ -92,20 +120,43 @@ class Decision:
         """The chosen machine configuration."""
         return self.chosen.config
 
+    @property
+    def costs_ms(self) -> tuple[float, ...]:
+        """Per-device estimated times in milliseconds, fleet order."""
+        return tuple(estimate.time_ms for estimate in self.estimates)
+
     def estimate_for(self, accelerator: str) -> DeviceEstimate:
         """The costed option on one device, chosen or not.
 
         Raises:
-            KeyError: when ``accelerator`` names neither side.
+            KeyError: when ``accelerator`` is outside the fleet.
         """
-        if accelerator == self.chosen.spec.name:
-            return self.chosen
-        if accelerator == self.other.spec.name:
-            return self.other
-        raise KeyError(
-            f"{accelerator!r} is neither {self.chosen.spec.name!r} nor "
-            f"{self.other.spec.name!r}"
-        )
+        for estimate in self.estimates:
+            if estimate.spec.name == accelerator:
+                return estimate
+        names = [estimate.spec.name for estimate in self.estimates]
+        raise KeyError(f"{accelerator!r} is not one of {names}")
+
+    def runner_up_excluding(
+        self, accelerator: str, metric: str = "time"
+    ) -> DeviceEstimate:
+        """The best estimate on any device *other than* ``accelerator``.
+
+        The audit trail's runner-up column: the alternative the fleet
+        gave up by executing on ``accelerator``.  Ties break by device
+        name so the answer is permutation-invariant.
+
+        Raises:
+            KeyError: when excluding ``accelerator`` leaves no options.
+        """
+        rest = [
+            estimate
+            for estimate in self.estimates
+            if estimate.spec.name != accelerator
+        ]
+        if not rest:
+            raise KeyError(f"no alternative to {accelerator!r} in this fleet")
+        return min(rest, key=lambda e: (e.result.objective(metric), e.spec.name))
 
 
 @dataclass(frozen=True)
@@ -184,13 +235,13 @@ class DeviceReport:
 
 @dataclass(frozen=True)
 class FleetReport:
-    """What a batch cost the two-accelerator fleet under one policy."""
+    """What a batch cost the N-accelerator fleet under one policy."""
 
     policy: str
     backend: str
     outcomes: tuple[RunOutcome, ...]  # input order
     placements: tuple[Placement, ...]  # input order
-    devices: tuple[DeviceReport, ...]  # (gpu, multicore)
+    devices: tuple[DeviceReport, ...]  # fleet order
     makespan_ms: float  # latest device finish time
     serial_ms: float  # sum of chosen-device estimates: the solo baseline
     total_overhead_ms: float  # predictor inference, summed over the batch

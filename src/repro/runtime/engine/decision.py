@@ -1,23 +1,37 @@
-"""Decision layer: workloads in, both-device costed decisions out.
+"""Decision layer: workloads in, fleet-costed decisions out.
 
 :class:`DecisionService` owns everything the predictor needs at serving
-time — the learner itself, the accelerator pair, and the exact LRU
-:class:`~repro.runtime.serving.DecisionCache` — and exposes two tiers:
+time — the learner itself, the device :class:`~repro.machine.fleet.Fleet`,
+and the exact LRU :class:`~repro.runtime.serving.DecisionCache` — and
+exposes two tiers:
 
 * :meth:`plan_batch` — the throughput path: encode all features in one
   pass, dedupe through the cache and an in-batch memo, run **one**
   batched forward for the misses, fan back out in input order;
 * :meth:`decide_batch` — the engine path: everything above, plus a
-  cost-model estimate of the predicted deployment on **both**
-  accelerators (the runner-up side re-decodes the predicted knob vector
-  with the M1 accelerator bit flipped), packaged as
+  cost-model estimate of the predicted knob vector decoded onto
+  **every** device in the fleet, packaged as
   :class:`~repro.runtime.engine.contracts.Decision` objects the
   placement layer can schedule against.
+
+The decision rule is *kind-restricted argmin*: the predictor's M1 bit
+picks the accelerator **kind** (GPU vs multicore, the paper's binary
+call) and the concrete device within that kind is the argmin of the
+per-device cost estimates (ties break by device name, so decisions are
+invariant under permutation of the fleet's device list).  On a
+two-device fleet the kind has exactly one member, which makes the fleet
+path bit-identical to the historical pair path — decoding the predicted
+vector onto the opposite device with its own parameters is exactly what
+the old "flip the M1 bit and re-decode" produced.  The per-device
+estimates use the scalar :func:`~repro.accel.simulator.simulate`
+reference model (not the vectorized batch path, which is only
+1e-9-equivalent) so estimates stay bit-exact against direct simulation.
 
 Cache entries hold only the feature-keyed (spec, config, vector) triple;
 estimates depend on the workload *profile* (two datasets can share a
 discretized feature row yet scale differently), so they are computed per
-workload and never cached.
+workload and never cached.  Cache keys are namespaced by the fleet
+fingerprint so one cache can never serve placements across fleets.
 """
 
 from __future__ import annotations
@@ -29,12 +43,13 @@ import numpy as np
 from repro import obs
 from repro.accel.simulator import SimulationResult, simulate
 from repro.core.encoding import (
-    decode_config,
     decode_config_batch,
+    decode_config_for,
     encode_features_batch,
 )
 from repro.core.predictors.base import Predictor
 from repro.errors import NotTrainedError
+from repro.machine.fleet import Fleet
 from repro.machine.mvars import MachineConfig
 from repro.machine.specs import AcceleratorSpec
 from repro.runtime.deploy import Workload
@@ -45,37 +60,88 @@ from repro.runtime.serving import (
     feature_keys_batch,
 )
 
-__all__ = ["DecisionService"]
+__all__ = ["DecisionService", "select_chosen", "select_runner_up"]
 
 
-def _flip_accelerator_bit(vector: np.ndarray) -> np.ndarray:
-    """The runner-up knob vector: same prediction, opposite M1 call."""
-    flipped = np.array(vector, dtype=np.float64, copy=True)
-    flipped[0] = 0.0 if flipped[0] >= 0.5 else 1.0
-    return flipped
+def select_chosen(
+    estimates: Sequence[DeviceEstimate],
+    *,
+    prefer_multicore: bool,
+    metric: str,
+) -> int:
+    """Kind-restricted argmin: the index the decision layer deploys.
+
+    Candidates are the devices of the M1 kind the predictor called;
+    among them the lowest objective wins, ties broken by device name so
+    the pick never depends on fleet-list order.
+
+    Raises:
+        ValueError: when the fleet has no device of the called kind.
+    """
+    candidates = [
+        index
+        for index, estimate in enumerate(estimates)
+        if estimate.spec.is_gpu != prefer_multicore
+    ]
+    if not candidates:
+        kind = "multicore" if prefer_multicore else "GPU"
+        raise ValueError(f"no {kind} device among the estimates")
+    return min(
+        candidates,
+        key=lambda i: (estimates[i].result.objective(metric), estimates[i].spec.name),
+    )
+
+
+def select_runner_up(
+    estimates: Sequence[DeviceEstimate],
+    chosen_index: int,
+    metric: str,
+) -> int:
+    """Second-best index: the best estimate excluding the chosen device.
+
+    Ties break by device name, like :func:`select_chosen`.
+
+    Raises:
+        ValueError: for a single-estimate list (no alternative exists).
+    """
+    candidates = [i for i in range(len(estimates)) if i != chosen_index]
+    if not candidates:
+        raise ValueError("a runner-up needs at least two estimates")
+    return min(
+        candidates,
+        key=lambda i: (estimates[i].result.objective(metric), estimates[i].spec.name),
+    )
 
 
 class DecisionService:
-    """The engine's decision layer around one predictor + device pair."""
+    """The engine's decision layer around one predictor + device fleet."""
 
     def __init__(
         self,
         predictor: Predictor,
-        gpu: AcceleratorSpec,
-        multicore: AcceleratorSpec,
+        fleet: Fleet,
         *,
         predictor_name: str,
         metric: str,
         cache: DecisionCache | None = None,
     ) -> None:
         self.predictor = predictor
-        self.gpu = gpu
-        self.multicore = multicore
+        self.fleet = fleet
         self.predictor_name = predictor_name
         self.metric = metric
         self.cache = cache
         #: Measured predictor inference latency; ``None`` until trained.
         self.overhead_ms: float | None = None
+
+    @property
+    def gpu(self) -> AcceleratorSpec:
+        """The fleet's reference GPU (the predictor's knob anchor)."""
+        return self.fleet.primary_gpu
+
+    @property
+    def multicore(self) -> AcceleratorSpec:
+        """The fleet's reference multicore."""
+        return self.fleet.primary_multicore
 
     # -- gates -------------------------------------------------------------
 
@@ -135,13 +201,17 @@ class DecisionService:
         server calls this directly with memoized feature rows, skipping
         the encode pass for hot workloads.
 
+        The plan tier is feature-pure, so decoding anchors on the fleet
+        primaries; cache keys carry the fleet fingerprint, so a cache
+        shared across two fleets keeps their decisions fully isolated.
+
         Raises:
             NotTrainedError: before the predictor is trained.
         """
         self.require_trained()
-        keys = feature_keys_batch(features)
+        keys = feature_keys_batch(features, fleet=self.fleet.fingerprint)
         cache = self.cache if self.cache_active else None
-        decided: dict[tuple[float, ...], CachedDecision | None] = {}
+        decided: dict[tuple, CachedDecision | None] = {}
         miss_rows: list[int] = []
         for index, key in enumerate(keys):
             if key in decided:
@@ -184,44 +254,77 @@ class DecisionService:
         obs.gauge("serve.decision_cache_misses", stats.misses)
         obs.gauge("serve.decision_cache_evictions", stats.evictions)
 
-    # -- deciding (both-device estimates) -----------------------------------
+    # -- deciding (per-device fleet estimates) -------------------------------
 
     def decide(self, workload: Workload) -> Decision:
-        """One workload's both-device costed decision."""
+        """One workload's fleet-costed decision."""
         return self.decide_batch([workload])[0]
 
     def decide_batch(self, workloads: Sequence[Workload]) -> list[Decision]:
-        """Choose deployments and cost both sides for a whole batch."""
+        """Choose deployments and cost every fleet device for a batch."""
         entries, features = self._choose_batch(workloads)
+        configs = self._decode_fleet(entries)
         decisions = [
-            self._with_estimates(workload, entry, row)
+            self._with_estimates(workload, entry, row, configs[id(entry)])
             for workload, entry, row in zip(workloads, entries, features)
         ]
         if decisions and obs.enabled():
-            # Two cost-model evaluations per decision: chosen + runner-up.
-            obs.counter("engine.estimates", 2 * len(decisions))
+            # One cost-model evaluation per decision per fleet device.
+            obs.counter("engine.estimates", len(self.fleet) * len(decisions))
         return decisions
 
+    def _decode_fleet(
+        self, entries: Sequence[CachedDecision]
+    ) -> dict[int, tuple[MachineConfig, ...]]:
+        """Per-device configs for each unique entry's predicted vector.
+
+        One :func:`decode_config_for` pass per device over the unique
+        vectors (cache hits and in-batch duplicates share rows), keyed by
+        entry identity.
+        """
+        unique_rows: dict[int, int] = {}
+        vectors: list[np.ndarray] = []
+        for entry in entries:
+            if id(entry) not in unique_rows:
+                unique_rows[id(entry)] = len(vectors)
+                vectors.append(entry.vector)
+        if not vectors:
+            return {}
+        matrix = np.stack(vectors)
+        per_device = [
+            decode_config_for(matrix, spec) for spec in self.fleet.devices
+        ]
+        return {
+            entry_id: tuple(configs[row] for configs in per_device)
+            for entry_id, row in unique_rows.items()
+        }
+
     def _with_estimates(
-        self, workload: Workload, entry: CachedDecision, features: np.ndarray
+        self,
+        workload: Workload,
+        entry: CachedDecision,
+        features: np.ndarray,
+        configs: tuple[MachineConfig, ...],
     ) -> Decision:
-        chosen = DeviceEstimate(
-            spec=entry.spec,
-            config=entry.config,
-            result=simulate(workload.profile, entry.spec, entry.config),
+        estimates = tuple(
+            DeviceEstimate(
+                spec=spec,
+                config=config,
+                result=simulate(workload.profile, spec, config),
+            )
+            for spec, config in zip(self.fleet.devices, configs)
         )
-        other_spec, other_config = decode_config(
-            _flip_accelerator_bit(entry.vector), self.gpu, self.multicore
+        chosen_index = select_chosen(
+            estimates,
+            prefer_multicore=not entry.spec.is_gpu,
+            metric=self.metric,
         )
-        other = DeviceEstimate(
-            spec=other_spec,
-            config=other_config,
-            result=simulate(workload.profile, other_spec, other_config),
-        )
+        runner_up_index = select_runner_up(estimates, chosen_index, self.metric)
         return Decision(
             workload=workload,
-            chosen=chosen,
-            other=other,
+            estimates=estimates,
+            chosen_index=chosen_index,
+            runner_up_index=runner_up_index,
             vector=entry.vector,
             features=tuple(float(f) for f in features),
         )
@@ -239,15 +342,11 @@ class DecisionService:
 
         ``spec``/``config``/``result`` describe the deployment that
         actually ran (the scheduler may have overridden the predictor's
-        choice); the runner-up column is the decision's estimate on the
-        *other* device, so a ``solo`` placement audits exactly like the
-        pre-engine scalar path did.
+        choice); the runner-up column is the decision's best estimate on
+        any *other* device, so a ``solo`` placement audits exactly like
+        the pre-fleet pair path did.
         """
-        runner_up = decision.estimate_for(
-            self.multicore.name
-            if spec.name == self.gpu.name
-            else self.gpu.name
-        )
+        runner_up = decision.runner_up_excluding(spec.name, self.metric)
         obs.record_decision(
             obs.DecisionRecord(
                 benchmark=decision.workload.benchmark,

@@ -2,10 +2,10 @@
 
 :class:`Engine` wires the three layers together: the
 :class:`~repro.runtime.engine.decision.DecisionService` prices every
-workload on both accelerators, the
+workload on every fleet device, the
 :class:`~repro.runtime.engine.scheduler.Scheduler` places the batch on
 simulated per-device clocks under the requested policy, and the
-:class:`~repro.runtime.engine.execution.ExecutionBackend` drains the two
+:class:`~repro.runtime.engine.execution.ExecutionBackend` drains the N
 device queues (the clocks model them draining *concurrently*; execution
 itself is deterministic simulation, so drain order is irrelevant to the
 results).  The batch-level accounting — per-device busy/idle time and
@@ -111,7 +111,7 @@ class Engine:
     ) -> FleetReport:
         makespan = max((p.finish_ms for p in placements), default=0.0)
         devices = []
-        for spec in (self.scheduler.gpu, self.scheduler.multicore):
+        for spec in self.scheduler.fleet.devices:
             mine = [p for p in placements if p.deployed.spec.name == spec.name]
             busy = sum(p.deployed.time_ms for p in mine)
             devices.append(

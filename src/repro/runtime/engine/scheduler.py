@@ -1,9 +1,10 @@
-"""Placement layer: fleet-aware scheduling of decisions onto the pair.
+"""Placement layer: fleet-aware scheduling of decisions onto N devices.
 
-The scheduler turns a batch of both-device
+The scheduler turns a batch of fleet-costed
 :class:`~repro.runtime.engine.contracts.Decision`\\ s into
 :class:`~repro.runtime.engine.contracts.Placement`\\ s on simulated
-per-device clocks (:class:`DeviceState`).  Three pluggable policies:
+per-device clocks (:class:`DeviceState`), one clock per fleet device.
+Three pluggable policies:
 
 * ``solo`` — the pre-engine behavior, bit-identical outcomes: every
   workload deploys on its predictor-chosen device and the batch executes
@@ -15,7 +16,7 @@ per-device clocks (:class:`DeviceState`).  Three pluggable policies:
   estimate.  Ties prefer the predictor's choice.
 * ``makespan`` — offline longest-processing-time-first: the batch is
   sorted by descending chosen-device estimate, then placed greedily
-  earliest-finish — the classic 2-machine LPT heuristic, which needs the
+  earliest-finish — the classic N-machine LPT heuristic, which needs the
   whole batch up front but tightens the makespan bound.
 
 Both fleet policies satisfy ``makespan <= serial sum of chosen-device
@@ -29,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.machine.fleet import Fleet
 from repro.machine.specs import AcceleratorSpec
 from repro.runtime.engine.contracts import Decision, DeviceEstimate, Placement
 
@@ -60,11 +62,38 @@ class DeviceState:
 
 
 class Scheduler:
-    """Pluggable placement policies over a (GPU, multicore) pair."""
+    """Pluggable placement policies over an N-device fleet.
 
-    def __init__(self, gpu: AcceleratorSpec, multicore: AcceleratorSpec) -> None:
-        self.gpu = gpu
-        self.multicore = multicore
+    Constructed either from a :class:`~repro.machine.fleet.Fleet` or —
+    the historical signature — from a bare ``(gpu, multicore)`` pair,
+    which becomes the N=2 degenerate fleet.
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet | AcceleratorSpec,
+        multicore: AcceleratorSpec | None = None,
+    ) -> None:
+        if isinstance(fleet, Fleet):
+            if multicore is not None:
+                raise TypeError(
+                    "pass either a Fleet or a (gpu, multicore) pair, not both"
+                )
+            self.fleet = fleet
+        else:
+            if multicore is None:
+                raise TypeError("a bare spec needs a multicore companion")
+            self.fleet = Fleet((fleet, multicore))
+
+    @property
+    def gpu(self) -> AcceleratorSpec:
+        """The fleet's reference GPU."""
+        return self.fleet.primary_gpu
+
+    @property
+    def multicore(self) -> AcceleratorSpec:
+        """The fleet's reference multicore."""
+        return self.fleet.primary_multicore
 
     def place(
         self, decisions: "list[Decision]", *, policy: str = "solo"
@@ -96,10 +125,7 @@ class Scheduler:
     # -- policies ----------------------------------------------------------
 
     def _states(self) -> dict[str, DeviceState]:
-        return {
-            self.gpu.name: DeviceState(self.gpu),
-            self.multicore.name: DeviceState(self.multicore),
-        }
+        return {spec.name: DeviceState(spec) for spec in self.fleet.devices}
 
     def _place_solo(self, decisions: "list[Decision]") -> list[Placement]:
         states = self._states()
@@ -158,7 +184,7 @@ class Scheduler:
     def _export(self, placements: "list[Placement]", policy: str) -> None:
         if not obs.enabled():
             return
-        depths = {self.gpu.name: 0, self.multicore.name: 0}
+        depths = {name: 0 for name in self.fleet.names}
         overrides = 0
         for placement in placements:
             depths[placement.deployed.spec.name] += 1

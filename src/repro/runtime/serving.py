@@ -73,31 +73,50 @@ def capacity_from_env(default: int = DEFAULT_CAPACITY) -> int:
     return capacity
 
 
-def feature_key(features: np.ndarray) -> tuple[float, ...]:
+def feature_key(
+    features: np.ndarray, *, fleet: str | None = None
+) -> tuple[float | str, ...]:
     """Canonical cache key for one 17-element feature row.
 
     Feature rows are already discretized, so equal workloads produce
     float-equal rows and the plain tuple is an exact key (no rounding or
     hashing tricks needed).  ``tolist()`` is the fast path — this runs
     once per lookup on the serving hot path.
+
+    ``fleet`` namespaces the key with a fleet fingerprint
+    (:attr:`repro.machine.fleet.Fleet.fingerprint`): decisions are only
+    exact relative to the device set they were decoded for, so a cache
+    shared across two differently configured fleets must never serve one
+    fleet's placement to the other.
     """
     if isinstance(features, np.ndarray):
-        return tuple(features.tolist())
-    return tuple(float(value) for value in features)
+        key = tuple(features.tolist())
+    else:
+        key = tuple(float(value) for value in features)
+    if fleet is None:
+        return key
+    return (fleet, *key)
 
 
-def feature_keys_batch(features: np.ndarray) -> list[tuple[float, ...]]:
+def feature_keys_batch(
+    features: np.ndarray, *, fleet: str | None = None
+) -> list[tuple[float | str, ...]]:
     """Cache keys for a whole ``(n, 17)`` feature matrix at once.
 
     One ``tolist()`` over the matrix converts every element in a single C
     pass, which is measurably cheaper than calling :func:`feature_key` on
     ``n`` row views — this is the per-request key cost on the serving hot
     path, so the batch form is what the decision layer and the async
-    server use.
+    server use.  ``fleet`` namespaces every key exactly as in
+    :func:`feature_key`.
     """
     if isinstance(features, np.ndarray):
-        return [tuple(row) for row in features.tolist()]
-    return [feature_key(row) for row in features]
+        rows = features.tolist()
+    else:
+        rows = [list(row) for row in features]
+    if fleet is None:
+        return [tuple(row) for row in rows]
+    return [(fleet, *row) for row in rows]
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,9 @@ The correctness-tooling layer the perf roadmap stands on.  Three parts:
 * :mod:`repro.validation.oracle` — a differential oracle pinning the
   vectorized batch cost model to the scalar ``simulate`` reference and
   the tuning layer's argmin to scalar brute force.
+* :mod:`repro.validation.fleet` — the fleet component: differential
+  per-device argmin vs an exhaustive scalar loop, decode bit-identity,
+  and permutation-invariant fleet identities.
 * :mod:`repro.validation.fuzz` — the seeded driver
   (``python -m repro.validation.fuzz`` / ``make fuzz``); every failure
   message embeds a ``REPRO_FUZZ_SEED=... --cases 1`` replay one-liner.
@@ -32,6 +35,13 @@ from repro.validation.invariants import (
     registered_benchmarks,
     run_kernel_case,
     sample_kernel_params,
+)
+from repro.validation.fleet import (
+    check_decode_agreement,
+    check_fleet_argmin,
+    check_permutation_identity,
+    random_fleet,
+    run_fleet_case,
 )
 from repro.validation.oracle import (
     REL_TOL,
@@ -65,8 +75,11 @@ __all__ = [
     "SEED_ENV_VAR",
     "check_argmin_equivalence",
     "check_batch_equivalence",
+    "check_decode_agreement",
     "check_exhaustive_against_scalar",
+    "check_fleet_argmin",
     "check_kernel_case",
+    "check_permutation_identity",
     "derive_seed",
     "invariant",
     "invariants_for",
@@ -75,9 +88,11 @@ __all__ = [
     "master_seed_from_env",
     "random_config",
     "random_config_table",
+    "random_fleet",
     "random_profile",
     "registered_benchmarks",
     "replay_command",
+    "run_fleet_case",
     "run_kernel_case",
     "run_oracle_case",
     "sample_family_params",

@@ -1,0 +1,198 @@
+"""Fleet fuzz component: differential argmin + fleet identity properties.
+
+The fleet runtime rests on three mechanical facts this component fuzzes
+under the seeded-replay contract of :mod:`repro.validation.fuzz`:
+
+* **differential argmin** — for random workloads and random fleets of
+  size 2–6, the vectorized per-device argmin
+  (:func:`repro.accel.batch.fleet_argbest`, one grouped batch evaluation
+  per device) agrees with an exhaustive scalar
+  :func:`~repro.accel.simulator.simulate` loop over every candidate
+  deployment, under the same 1e-9 tolerance contract as the batch/scalar
+  cost-model oracle;
+* **decode agreement** — :func:`repro.core.encoding.decode_config_for`
+  (decode a predicted knob vector onto *one* named device) is
+  bit-identical to the matching kind-branch of
+  :func:`~repro.core.encoding.decode_config_batch`, which is the exact
+  identity that makes the N=2 fleet reproduce the historical pair path;
+* **permutation invariance** — a fleet's fingerprint and primaries never
+  depend on device-list order, so neither do cache keys or decisions.
+
+Violations raise :class:`OracleMismatchError` with the offending device
+and quantity, replayable via the standard ``REPRO_FUZZ_SEED`` one-liner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.batch import fleet_argbest
+from repro.accel.simulator import simulate
+from repro.core.encoding import NUM_TARGETS, decode_config_batch, decode_config_for
+from repro.errors import OracleMismatchError
+from repro.machine.fleet import Fleet, synthetic_fleet
+from repro.machine.mvars import MachineConfig
+from repro.machine.specs import AcceleratorSpec
+from repro.validation.oracle import REL_TOL, random_config, random_profile
+from repro.workload.profile import WorkloadProfile
+
+__all__ = [
+    "MAX_FLEET_SIZE",
+    "random_fleet",
+    "check_fleet_argmin",
+    "check_decode_agreement",
+    "check_permutation_identity",
+    "run_fleet_case",
+]
+
+_METRICS = ("time", "energy", "edp")
+
+#: Largest fleet a fuzz case draws (the oracle satellite's 2–6 band).
+MAX_FLEET_SIZE = 6
+
+#: Device pool the fuzzer samples fleets from: the four modelled machines
+#: plus derated previous-generation variants of each.
+_POOL = synthetic_fleet(8).devices
+
+
+def random_fleet(
+    rng: np.random.Generator, max_size: int = MAX_FLEET_SIZE
+) -> Fleet:
+    """A random valid fleet of size 2..``max_size``, shuffled order.
+
+    Guarantees at least one device of each M1 kind by seeding the pick
+    with one random GPU and one random multicore before filling the rest
+    from the remaining pool.
+    """
+    size = int(rng.integers(2, max_size + 1))
+    gpus = [spec for spec in _POOL if spec.is_gpu]
+    multicores = [spec for spec in _POOL if not spec.is_gpu]
+    picks = [
+        gpus[int(rng.integers(0, len(gpus)))],
+        multicores[int(rng.integers(0, len(multicores)))],
+    ]
+    rest = [spec for spec in _POOL if spec.name not in {p.name for p in picks}]
+    extra = rng.permutation(len(rest))[: max(0, size - 2)]
+    picks.extend(rest[int(i)] for i in extra)
+    order = rng.permutation(len(picks))
+    return Fleet(tuple(picks[int(i)] for i in order))
+
+
+def check_fleet_argmin(
+    profile: WorkloadProfile,
+    deployments: "list[tuple[AcceleratorSpec, MachineConfig]]",
+    metric: str,
+    rel_tol: float = REL_TOL,
+) -> None:
+    """Vectorized fleet argmin vs an exhaustive scalar simulate loop.
+
+    Per-deployment results must match the scalar reference to within the
+    oracle tolerance, and the winning objective values must agree (near
+    ties may legally resolve to different indices within the band).
+
+    Raises:
+        OracleMismatchError: on any divergence beyond ``rel_tol``.
+    """
+    best_index, results = fleet_argbest(profile, deployments, metric)
+    scalar = [simulate(profile, spec, config) for spec, config in deployments]
+    for index, (vectorized, reference) in enumerate(zip(results, scalar)):
+        pairs = (
+            ("time_s", vectorized.time_s, reference.time_s),
+            ("energy_j", vectorized.energy_j, reference.energy_j),
+            ("utilization", vectorized.utilization, reference.utilization),
+        )
+        for quantity, got, want in pairs:
+            tolerance = rel_tol * abs(want) + 1e-12
+            if abs(got - want) > tolerance:
+                spec = deployments[index][0]
+                raise OracleMismatchError(
+                    f"fleet/scalar divergence on {spec.name} deployment "
+                    f"#{index}: {quantity} fleet={got!r} scalar={want!r}"
+                )
+    scalar_best = min(
+        range(len(scalar)), key=lambda i: (scalar[i].objective(metric), i)
+    )
+    got = results[best_index].objective(metric)
+    want = scalar[scalar_best].objective(metric)
+    tolerance = rel_tol * abs(want) + 1e-12
+    if abs(got - want) > tolerance:
+        raise OracleMismatchError(
+            f"fleet argmin divergence (metric {metric!r}): vectorized best "
+            f"{got!r} on #{best_index} vs scalar best {want!r} on "
+            f"#{scalar_best}"
+        )
+
+
+def check_decode_agreement(vectors: np.ndarray, fleet: Fleet) -> None:
+    """Per-device decode must be bit-identical to the pair batch decode.
+
+    For each row, :func:`decode_config_batch` anchored on the fleet
+    primaries picks a device by the M1 bit and decodes the knobs with
+    that device's parameters; :func:`decode_config_for` of the same
+    device must produce the *exact same* configuration (no tolerance —
+    this is the N=2 bit-identity spine).
+
+    Raises:
+        OracleMismatchError: on any row where the two decoders disagree.
+    """
+    gpu, multicore = fleet.primary_gpu, fleet.primary_multicore
+    paired = decode_config_batch(vectors, gpu, multicore)
+    per_device = {
+        spec.name: decode_config_for(vectors, spec)
+        for spec in (gpu, multicore)
+    }
+    for row, (spec, config) in enumerate(paired):
+        solo = per_device[spec.name][row]
+        if solo != config:
+            raise OracleMismatchError(
+                f"decode divergence on {spec.name} row {row}: "
+                f"decode_config_for={solo!r} != decode_config_batch={config!r}"
+            )
+
+
+def check_permutation_identity(
+    fleet: Fleet, rng: np.random.Generator
+) -> None:
+    """Fingerprint and primaries must survive device-list permutation.
+
+    Raises:
+        OracleMismatchError: when any identity depends on list order.
+    """
+    order = rng.permutation(len(fleet))
+    shuffled = Fleet(tuple(fleet.devices[int(i)] for i in order))
+    if shuffled.fingerprint != fleet.fingerprint:
+        raise OracleMismatchError(
+            f"fleet fingerprint depends on device order: "
+            f"{fleet.fingerprint} vs {shuffled.fingerprint} for "
+            f"{fleet.names} vs {shuffled.names}"
+        )
+    for role in ("primary_gpu", "primary_multicore"):
+        if getattr(shuffled, role).name != getattr(fleet, role).name:
+            raise OracleMismatchError(
+                f"{role} depends on device order for {fleet.names}"
+            )
+
+
+def run_fleet_case(seed: int) -> str:
+    """One fleet fuzz case: argmin oracle + decode + identity properties.
+
+    Raises:
+        OracleMismatchError: on any violation.
+    """
+    rng = np.random.default_rng(seed)
+    profile = random_profile(rng)
+    fleet = random_fleet(rng)
+    metric = _METRICS[int(rng.integers(0, len(_METRICS)))]
+    deployments = [
+        (spec, random_config(spec, rng))
+        for spec in fleet.devices
+        for _ in range(int(rng.integers(1, 3)))
+    ]
+    check_fleet_argmin(profile, deployments, metric)
+    vectors = rng.uniform(0.0, 1.0, size=(5, NUM_TARGETS))
+    check_decode_agreement(vectors, fleet)
+    check_permutation_identity(fleet, rng)
+    return (
+        f"{profile.benchmark} on {len(fleet)}-device fleet "
+        f"({len(deployments)} deployments, metric={metric})"
+    )

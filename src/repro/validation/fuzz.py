@@ -1,9 +1,10 @@
 """Seeded fuzz driver: ``python -m repro.validation.fuzz``.
 
 Round-robins the fuzz components — ``kernels`` (invariant registry on
-randomized generator graphs) and ``oracle`` (differential batch/scalar
-cost model) — under a wall-clock budget and per-component case cap, with
-two tiers:
+randomized generator graphs), ``oracle`` (differential batch/scalar
+cost model), and ``fleet`` (per-device argmin vs scalar loop + fleet
+identity properties) — under a wall-clock budget and per-component case
+cap, with two tiers:
 
 * ``--tier quick``: the CI tier, bounded to finish well under a minute.
 * ``--tier deep``: the opt-in soak tier (``make fuzz-deep``).
@@ -27,6 +28,7 @@ from collections.abc import Callable, Sequence
 
 from repro import obs
 from repro.errors import ValidationError
+from repro.validation.fleet import run_fleet_case
 from repro.validation.invariants import run_kernel_case
 from repro.validation.oracle import run_oracle_case
 from repro.validation.seeds import (
@@ -40,6 +42,7 @@ __all__ = ["COMPONENTS", "TIERS", "run_case", "fuzz", "main"]
 COMPONENTS: dict[str, Callable[[int], str]] = {
     "kernels": run_kernel_case,
     "oracle": run_oracle_case,
+    "fleet": run_fleet_case,
 }
 
 # tier -> (wall-clock budget seconds, max cases per component)

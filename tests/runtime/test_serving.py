@@ -12,7 +12,12 @@ from repro.machine.mvars import MachineConfig
 from repro.machine.specs import get_accelerator
 from repro.obs.config import ObsConfig
 from repro.runtime.deploy import prepare_workload
-from repro.runtime.serving import CachedDecision, DecisionCache, feature_key
+from repro.runtime.serving import (
+    CachedDecision,
+    DecisionCache,
+    feature_key,
+    feature_keys_batch,
+)
 
 GPU = get_accelerator("gtx750ti")
 PHI = get_accelerator("xeonphi7120p")
@@ -34,6 +39,17 @@ class TestFeatureKey:
     def test_equal_rows_equal_keys(self):
         a = np.round(np.random.default_rng(0).random(17), 1)
         assert feature_key(a) == feature_key(a.copy())
+
+    def test_fleet_fingerprint_namespaces_keys(self):
+        row = np.array([0.1, 0.2, 0.3])
+        assert feature_key(row, fleet="aaaa") != feature_key(row, fleet="bbbb")
+        assert feature_key(row, fleet="aaaa") != feature_key(row)
+        assert feature_key(row, fleet="aaaa")[0] == "aaaa"
+
+    def test_batch_keys_match_row_keys_with_fleet(self):
+        matrix = np.array([[0.1, 0.2], [0.3, 0.4]])
+        batch = feature_keys_batch(matrix, fleet="ffff")
+        assert batch == [feature_key(row, fleet="ffff") for row in matrix]
 
 
 class TestDecisionCache:
@@ -264,6 +280,66 @@ class TestCacheBypass:
         # Items 0 and 2 are the duplicate pair.
         assert plans[0][0] is plans[2][0]
         assert plans[0][1] == plans[2][1]
+
+
+class TestFleetCacheIsolation:
+    """Regression: one DecisionCache shared by two differently configured
+    fleets must never serve a placement across the fleet boundary.
+
+    Before cache keys carried the fleet fingerprint, two fleets seeing
+    the same discretized feature row collided on the same key, so the
+    second fleet silently received the first fleet's (spec, config) —
+    a device it may not even contain."""
+
+    @pytest.fixture(scope="class")
+    def shared_fleets(self):
+        shared = DecisionCache(capacity=64)
+        a = HeteroMap.with_default_pair(predictor="deep16", seed=5)
+        b = HeteroMap.with_fleet(
+            ("gtx970", "cpu40core"), predictor="deep16", seed=5
+        )
+        a.train(num_samples=30, seed=5)
+        b.train(num_samples=30, seed=5)
+        a.decisions.cache = shared
+        b.decisions.cache = shared
+        return shared, a, b
+
+    def test_interleaved_fleets_stay_isolated(self, shared_fleets):
+        shared, a, b = shared_fleets
+        shared.clear()
+        for _ in range(2):  # interleaved request streams
+            plans_a = a.plan_batch(ITEMS)
+            plans_b = b.plan_batch(ITEMS)
+        # Every served spec belongs to the requesting fleet.
+        assert {spec.name for spec, _ in plans_a} <= set(a.fleet.names)
+        assert {spec.name for spec, _ in plans_b} <= set(b.fleet.names)
+        # The fleets don't even share a device, so any leak would have
+        # surfaced as a foreign accelerator name above.
+        assert not set(a.fleet.names) & set(b.fleet.names)
+
+    def test_same_features_occupy_distinct_entries(self, shared_fleets):
+        shared, a, b = shared_fleets
+        shared.clear()
+        before = shared.stats.misses
+        a.plan_batch(ITEMS)
+        entries_after_a = len(shared)
+        misses_a = shared.stats.misses - before
+        b.plan_batch(ITEMS)  # identical feature rows, different fleet
+        # Fleet b's rows are MISSES, not hits on fleet a's entries.
+        assert shared.stats.misses - before == 2 * misses_a
+        assert len(shared) == 2 * entries_after_a
+
+    def test_shared_cache_decisions_match_private_cache(self, shared_fleets):
+        _, _, b = shared_fleets
+        isolated = HeteroMap.with_fleet(
+            ("gtx970", "cpu40core"), predictor="deep16", seed=5
+        )
+        isolated.train(num_samples=30, seed=5)
+        for (spec_a, config_a), (spec_b, config_b) in zip(
+            b.plan_batch(ITEMS), isolated.plan_batch(ITEMS)
+        ):
+            assert spec_a.name == spec_b.name
+            assert config_a == config_b
 
 
 class TestRunMany:

@@ -116,6 +116,19 @@ class TestSectionSelection:
             assert section[f"{name}_cached_per_sec"] > 0
             assert section[f"{name}_batch_speedup"] > 0
 
+    def test_fleet_scaling_payload(self, tmp_path):
+        rc, output = run_main(tmp_path, "--sections", "fleet_scaling")
+        assert rc == 0
+        payload = json.loads(output.read_text())
+        assert "lattice_sweep" not in payload
+        section = payload["fleet_scaling"]
+        assert section["sizes"] == [2, 4, 8]
+        for size in (2, 4, 8):
+            assert section[f"n{size}_decisions_per_sec"] > 0
+            assert section[f"n{size}_solo_makespan_ms"] > 0
+            # Parallel placement never loses to the serial baseline.
+            assert section[f"n{size}_speedup"] >= 1.0 - 1e-12
+
     def test_serving_async_payload(self, tmp_path):
         rc, output = run_main(tmp_path, "--sections", "serving_async")
         assert rc == 0

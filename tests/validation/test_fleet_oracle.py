@@ -1,0 +1,135 @@
+"""Tests for the fleet fuzz component (differential argmin oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.accel.batch as batch_module
+from repro.accel.batch import fleet_argbest, fleet_evaluate
+from repro.accel.simulator import simulate
+from repro.core.encoding import NUM_TARGETS
+from repro.errors import OracleMismatchError, SimulationError
+from repro.machine.fleet import Fleet, synthetic_fleet
+from repro.validation.fleet import (
+    MAX_FLEET_SIZE,
+    check_decode_agreement,
+    check_fleet_argmin,
+    check_permutation_identity,
+    random_fleet,
+    run_fleet_case,
+)
+from repro.validation.oracle import random_config, random_profile
+
+
+class TestRandomFleet:
+    def test_sizes_stay_in_band_and_valid(self):
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            fleet = random_fleet(rng)
+            assert 2 <= len(fleet) <= MAX_FLEET_SIZE
+            assert fleet.gpus and fleet.multicores
+
+    def test_deterministic_per_seed(self):
+        a = random_fleet(np.random.default_rng(11))
+        b = random_fleet(np.random.default_rng(11))
+        assert a.names == b.names
+
+
+class TestFleetEvaluate:
+    def test_matches_scalar_in_input_order(self):
+        rng = np.random.default_rng(7)
+        profile = random_profile(rng)
+        fleet = synthetic_fleet(4)
+        deployments = [
+            (spec, random_config(spec, rng)) for spec in fleet.devices
+        ]
+        results = fleet_evaluate(profile, deployments)
+        assert len(results) == len(deployments)
+        for (spec, config), result in zip(deployments, results):
+            reference = simulate(profile, spec, config)
+            assert result.accelerator == spec.name
+            assert result.time_s == pytest.approx(reference.time_s, rel=1e-9)
+            assert result.energy_j == pytest.approx(
+                reference.energy_j, rel=1e-9
+            )
+
+    def test_groups_duplicate_specs_into_one_pass(self):
+        rng = np.random.default_rng(9)
+        profile = random_profile(rng)
+        spec = synthetic_fleet(2).devices[0]
+        deployments = [(spec, random_config(spec, rng)) for _ in range(5)]
+        results = fleet_evaluate(profile, deployments)
+        assert len(results) == 5
+        assert all(r.accelerator == spec.name for r in results)
+
+    def test_empty_deployments(self):
+        rng = np.random.default_rng(1)
+        assert fleet_evaluate(random_profile(rng), []) == []
+        with pytest.raises(SimulationError, match="at least one"):
+            fleet_argbest(random_profile(rng), [])
+
+
+class TestDifferentialArgmin:
+    @pytest.mark.parametrize("size", [2, 3, 4, 5, 6])
+    def test_sizes_two_through_six(self, size):
+        rng = np.random.default_rng(100 + size)
+        profile = random_profile(rng)
+        fleet = synthetic_fleet(size)
+        deployments = [
+            (spec, random_config(spec, rng))
+            for spec in fleet.devices
+            for _ in range(2)
+        ]
+        for metric in ("time", "energy", "edp"):
+            check_fleet_argmin(profile, deployments, metric)
+
+    def test_detects_injected_model_drift(self, monkeypatch):
+        # Nudging a batch-path constant must trip the oracle, proving the
+        # check actually compares against the scalar reference.
+        monkeypatch.setattr(
+            batch_module, "_GRAIN_ITEMS", batch_module._GRAIN_ITEMS * 1.01
+        )
+        rng = np.random.default_rng(5)
+        tripped = False
+        for _ in range(25):
+            profile = random_profile(rng)
+            fleet = random_fleet(rng)
+            deployments = [
+                (spec, random_config(spec, rng)) for spec in fleet.devices
+            ]
+            try:
+                check_fleet_argmin(profile, deployments, "time")
+            except OracleMismatchError:
+                tripped = True
+                break
+        assert tripped
+
+
+class TestDecodeAgreement:
+    def test_random_vectors_agree(self):
+        rng = np.random.default_rng(21)
+        vectors = rng.uniform(0.0, 1.0, size=(16, NUM_TARGETS))
+        check_decode_agreement(vectors, Fleet.default_pair())
+
+    def test_m1_boundary_rows_agree(self):
+        # Rows pinned at the 0.5 decision boundary and the extremes.
+        vectors = np.full((4, NUM_TARGETS), 0.5)
+        vectors[1, 0] = 0.0
+        vectors[2, 0] = 1.0
+        vectors[3] = 0.0
+        check_decode_agreement(vectors, synthetic_fleet(4))
+
+
+class TestRunFleetCase:
+    def test_seeded_replay_is_deterministic(self):
+        assert run_fleet_case(42) == run_fleet_case(42)
+
+    def test_many_seeds_pass(self):
+        for seed in range(10):
+            description = run_fleet_case(seed)
+            assert "fleet" in description
+
+    def test_permutation_identity_check_runs(self):
+        rng = np.random.default_rng(33)
+        check_permutation_identity(synthetic_fleet(6), rng)
