@@ -31,6 +31,14 @@ from repro.obs.config import (
     ObsConfig,
     config_from_env,
 )
+from repro.obs.http import ObsHTTPServer, start_exposition
+from repro.obs.quality import (
+    DriftDetector,
+    QualitySample,
+    RegretTracker,
+    replay_audit,
+)
+from repro.obs.slo import DEFAULT_SERVE_SLOS, SLORegistry, SLOSpec, SLOTracker
 from repro.obs.state import (
     ObsState,
     configure,
@@ -39,45 +47,77 @@ from repro.obs.state import (
     flush,
     gauge,
     histogram,
+    install_slos,
     prometheus_text,
     quiet,
     record_decision,
+    record_span,
     reset,
     set_quiet,
+    slo_observe,
     span,
     state,
+    trace_link,
 )
 from repro.obs.logger import StructuredLogger, get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace_context import (
+    TraceContext,
+    active_trace_ids,
+    active_traces,
+    current_trace,
+    mint_trace,
+    trace_scope,
+)
 from repro.obs.tracer import NOOP_SPAN, SpanRecord, Tracer
 
 __all__ = [
     "DECISION_FIELDS",
+    "DEFAULT_SERVE_SLOS",
     "DecisionRecord",
+    "DriftDetector",
     "config_summary",
     "DEFAULT_JSONL_PATH",
     "ENV_VAR",
     "PROM_ENV_VAR",
     "ObsConfig",
+    "ObsHTTPServer",
     "ObsState",
+    "QualitySample",
+    "RegretTracker",
+    "SLORegistry",
+    "SLOSpec",
+    "SLOTracker",
+    "TraceContext",
+    "active_trace_ids",
+    "active_traces",
     "config_from_env",
     "configure",
     "counter",
+    "current_trace",
     "enabled",
     "flush",
     "gauge",
     "get_logger",
     "histogram",
+    "install_slos",
     "MetricsRegistry",
+    "mint_trace",
     "NOOP_SPAN",
     "prometheus_text",
     "quiet",
     "record_decision",
+    "record_span",
+    "replay_audit",
     "reset",
     "set_quiet",
+    "slo_observe",
     "span",
     "SpanRecord",
+    "start_exposition",
     "state",
     "StructuredLogger",
+    "trace_link",
+    "trace_scope",
     "Tracer",
 ]

@@ -38,6 +38,10 @@ DECISION_FIELDS = (
     "runner_up_time_ms",
     "margin_ms",
     "margin_pct",
+    "devices",
+    "costs_ms",
+    "observed_time_ms",
+    "trace_id",
 )
 
 
@@ -70,6 +74,18 @@ class DecisionRecord:
     predicted_utilization: float
     runner_up_accelerator: str
     runner_up_time_ms: float
+    #: Fleet device names, fleet order — the axis ``costs_ms`` runs over.
+    #: Empty for records written before the quality observatory existed.
+    devices: tuple[str, ...] = ()
+    #: Per-device estimated times for the predicted knob vector; together
+    #: with ``devices`` this is the counterfactual the regret tracker
+    #: folds (chosen-vs-oracle-argmin, chosen-vs-runner-up).
+    costs_ms: tuple[float, ...] = ()
+    #: Executed (backend-reported) time of the placed deployment; drift
+    #: detection watches ``observed - estimate`` on the placed device.
+    observed_time_ms: float | None = None
+    #: Request trace the placement executed under, when one was active.
+    trace_id: str | None = None
 
     @property
     def margin_ms(self) -> float:
@@ -99,4 +115,12 @@ class DecisionRecord:
             "runner_up_time_ms": self.runner_up_time_ms,
             "margin_ms": self.margin_ms,
             "margin_pct": self.margin_pct,
+            "devices": list(self.devices),
+            "costs_ms": [float(c) for c in self.costs_ms],
+            "observed_time_ms": (
+                self.observed_time_ms
+                if self.observed_time_ms is not None
+                else self.predicted_time_ms
+            ),
+            "trace_id": self.trace_id,
         }

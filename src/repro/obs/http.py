@@ -1,0 +1,154 @@
+"""Stdlib-only live exposition: ``/metrics``, ``/healthz``, ``/slo``.
+
+A tiny :mod:`http.server`-based endpoint that exposes the process's live
+observability state while it serves traffic:
+
+* ``GET /metrics`` — the merged metrics registry as Prometheus
+  exposition text (the same :meth:`MetricsRegistry.to_prometheus`
+  snapshot the exit-time export writes), scrapeable by a real
+  Prometheus;
+* ``GET /healthz`` — liveness (``200 ok``);
+* ``GET /slo`` — JSON: every installed SLO's continuous evaluation
+  (burn rate, bad fraction, breached) plus the prediction-quality
+  observatory summary (windowed regret, mispick rates, drift alarms).
+
+The server runs on a daemon thread (``ThreadingHTTPServer``), binds
+``port=0`` for an ephemeral port in tests, and is started from
+``repro-serve --obs-port``.  Handlers only *read* shared state — the
+metrics registry locks internally and the quality/SLO snapshots are
+plain dict builds — so exposition never blocks the serving hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+__all__ = ["ObsHTTPServer", "start_exposition"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the three endpoints; everything else is a 404."""
+
+    # Set per-server via the factory in ObsHTTPServer.
+    metrics_text: Callable[[], str]
+    slo_payload: Callable[[], dict]
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # exposition must not spam the serving process's stderr
+
+    def _reply(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                self._reply(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    self.metrics_text(),
+                )
+            elif path == "/healthz":
+                self._reply(200, "text/plain; charset=utf-8", "ok\n")
+            elif path == "/slo":
+                self._reply(
+                    200,
+                    "application/json; charset=utf-8",
+                    json.dumps(self.slo_payload(), sort_keys=False) + "\n",
+                )
+            else:
+                self._reply(404, "text/plain; charset=utf-8", "not found\n")
+        except BrokenPipeError:  # scraper went away mid-reply
+            pass
+
+
+class ObsHTTPServer:
+    """The exposition endpoint, owned by the process it observes."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics_text: Callable[[], str],
+        slo_payload: Callable[[], dict],
+    ) -> None:
+        handler = type(
+            "_BoundHandler",
+            (_Handler,),
+            {"metrics_text": staticmethod(metrics_text),
+             "slo_payload": staticmethod(slo_payload)},
+        )
+        self._http = ThreadingHTTPServer((host, port), handler)
+        self._http.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self.host = host
+        self.port = int(self._http.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObsHTTPServer":
+        """Serve on a daemon thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._http.serve_forever,
+                name="repro-obs-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket."""
+        self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ObsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def start_exposition(
+    port: int = 0, *, host: str = "127.0.0.1"
+) -> ObsHTTPServer:
+    """Expose the live ``repro.obs`` singleton state over HTTP.
+
+    ``/metrics`` serves the singleton's registry; ``/slo`` serves the
+    installed SLO evaluations plus the quality-observatory summary.
+    Works (with empty payloads) even when observability is disabled, so
+    ``--obs-port`` always yields a scrapeable endpoint.
+    """
+    from repro.obs import state
+
+    def slo_payload() -> dict:
+        live = state()
+        return {
+            "enabled": live.enabled,
+            "slos": live.slos.statuses() if live.slos is not None else [],
+            "breached": live.slos.breached() if live.slos is not None else [],
+            "quality": (
+                live.quality.summary() if live.quality is not None else {}
+            ),
+        }
+
+    return ObsHTTPServer(
+        host=host,
+        port=port,
+        metrics_text=lambda: state().metrics.to_prometheus(),
+        slo_payload=slo_payload,
+    ).start()

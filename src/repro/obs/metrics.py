@@ -76,6 +76,7 @@ class MetricsRegistry:
         self.counters: dict[str, dict[LabelSet, float]] = {}
         self.gauges: dict[str, dict[LabelSet, float]] = {}
         self.histograms: dict[str, dict[LabelSet, Histogram]] = {}
+        self._help: dict[str, str] = {}  # exposition # HELP descriptions
 
     # -- writes -----------------------------------------------------------
 
@@ -158,29 +159,59 @@ class MetricsRegistry:
                 histogram.total += float(entry["sum"])
                 histogram.count += int(entry["count"])
 
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` description to one metric name."""
+        with self._lock:
+            self._help[name] = help_text
+
     def to_prometheus(self, prefix: str = "repro") -> str:
-        """Prometheus exposition-format text snapshot."""
+        """Prometheus exposition-format text snapshot.
+
+        Label values and ``# HELP`` text are escaped per the exposition
+        spec (backslash, double-quote, newline), so hostile values — a
+        dataset name with a quote, a path with backslashes — cannot tear
+        the exposition apart.  Every metric carries ``# HELP`` and
+        ``# TYPE`` lines (the registered description, or the dotted
+        source name when none was registered).
+        """
         lines: list[str] = []
         snapshot = self.as_dict()
+        with self._lock:
+            helps = dict(self._help)
 
         def metric_name(name: str) -> str:
             return f"{prefix}_{name}".replace(".", "_").replace("-", "_")
 
+        def header(name: str, kind: str) -> None:
+            text = helps.get(name, f"repro metric {name}")
+            text = text.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {metric_name(name)} {text}")
+            lines.append(f"# TYPE {metric_name(name)} {kind}")
+
+        def label_value(value: str) -> str:
+            return (
+                value.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+            )
+
         def label_text(labels: dict[str, str], extra: str = "") -> str:
-            parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+            parts = [
+                f'{k}="{label_value(v)}"' for k, v in sorted(labels.items())
+            ]
             if extra:
                 parts.append(extra)
             return "{" + ",".join(parts) + "}" if parts else ""
 
         for name, entries in snapshot["counters"].items():
-            lines.append(f"# TYPE {metric_name(name)} counter")
+            header(name, "counter")
             for entry in entries:
                 lines.append(
                     f"{metric_name(name)}{label_text(entry['labels'])} "
                     f"{entry['value']:g}"
                 )
         for name, entries in snapshot["gauges"].items():
-            lines.append(f"# TYPE {metric_name(name)} gauge")
+            header(name, "gauge")
             for entry in entries:
                 lines.append(
                     f"{metric_name(name)}{label_text(entry['labels'])} "
@@ -188,7 +219,7 @@ class MetricsRegistry:
                 )
         for name, entries in snapshot["histograms"].items():
             base = metric_name(name)
-            lines.append(f"# TYPE {base} histogram")
+            header(name, "histogram")
             for entry in entries:
                 histogram = Histogram(bounds=tuple(entry["bounds"]))
                 histogram.counts = list(entry["counts"])

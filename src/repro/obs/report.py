@@ -29,13 +29,26 @@ from typing import Sequence
 
 from repro.obs.config import DEFAULT_JSONL_PATH
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.quality import replay_audit
 
-__all__ = ["load_events", "merged_metrics", "build_report", "main"]
+__all__ = [
+    "load_events",
+    "load_events_counted",
+    "merged_metrics",
+    "build_report",
+    "main",
+]
 
 
-def load_events(path: Path) -> list[dict]:
-    """Parse a JSONL stream, skipping blank or truncated lines."""
-    events = []
+def load_events_counted(path: Path) -> tuple[list[dict], int]:
+    """Parse a JSONL stream; returns ``(events, corrupt_line_count)``.
+
+    Blank lines are ignored; a line torn by a killed writer (truncated
+    JSON) is counted and skipped — mirroring the trace-cache quarantine
+    behavior — never raised through to the caller.
+    """
+    events: list[dict] = []
+    corrupt = 0
     with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -44,8 +57,13 @@ def load_events(path: Path) -> list[dict]:
             try:
                 events.append(json.loads(line))
             except json.JSONDecodeError:
-                continue  # a line torn by a killed writer is not fatal
-    return events
+                corrupt += 1
+    return events, corrupt
+
+
+def load_events(path: Path) -> list[dict]:
+    """Parse a JSONL stream, skipping blank or truncated lines."""
+    return load_events_counted(path)[0]
 
 
 def merged_metrics(events: Sequence[dict]) -> MetricsRegistry:
@@ -177,6 +195,59 @@ def _decision_section(events: Sequence[dict]) -> str:
     )
 
 
+def _quality_section(events: Sequence[dict]) -> str:
+    """Replay the stream's decision records through the regret tracker."""
+    tracker = replay_audit(events)
+    summary = tracker.summary()
+    if not summary["observed"]:
+        suffix = (
+            f" ({summary['skipped']} pre-quality-schema records skipped)"
+            if summary["skipped"]
+            else ""
+        )
+        return f"prediction quality: no regret-auditable decisions{suffix}"
+    rows = [
+        [
+            key,
+            stats["n"],
+            stats["regret_oracle_ms"],
+            stats["regret_runner_up_ms"],
+            f"{100.0 * stats['mispick_rate']:.1f}%",
+        ]
+        for key, stats in summary["windows"].items()
+    ]
+    device_bits = ", ".join(
+        f"{name} {stats['mispicks']}/{stats['placed']} mispicks "
+        f"({100.0 * stats['mispick_rate']:.1f}%)"
+        for name, stats in summary["devices"].items()
+    )
+    drift_bits = (
+        ", ".join(
+            f"{name}={count}" for name, count in summary["drift_alarms"].items()
+        )
+        or "none"
+    )
+    ewma_bits = ", ".join(
+        f"{name}={value:.4f}" for name, value in summary["error_ewma"].items()
+    )
+    return (
+        f"prediction quality ({summary['observed']} audited placements, "
+        f"{summary['skipped']} skipped):\n"
+        + _table(
+            [
+                "predictor/benchmark",
+                "window_n",
+                "regret_oracle_ms",
+                "regret_runner_up_ms",
+                "mispick",
+            ],
+            rows,
+        )
+        + f"\nper-device: {device_bits}"
+        + f"\ndrift alarms: {drift_bits}; error EWMA: {ewma_bits}"
+    )
+
+
 def _counters_section(registry: MetricsRegistry) -> str:
     if not registry.counters:
         return "counters: none recorded"
@@ -205,6 +276,7 @@ def build_report(events: Sequence[dict], *, top: int = 10) -> str:
         _cache_section(registry),
         _serve_section(registry),
         _decision_section(events),
+        _quality_section(events),
         _counters_section(registry),
     ]
     return "\n\n".join(sections)
@@ -239,11 +311,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    events = load_events(path)
+    events, corrupt = load_events_counted(path)
     if args.prometheus:
         sys.stdout.write(merged_metrics(events).to_prometheus())
-        return 0
-    print(build_report(events, top=args.top))
+    else:
+        print(build_report(events, top=args.top))
+    if corrupt:
+        print(
+            f"error: {corrupt} truncated/corrupt JSONL line(s) in {path} "
+            "were skipped (writer killed mid-line?); report covers the "
+            f"{len(events)} intact events only",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

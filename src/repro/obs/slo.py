@@ -1,0 +1,251 @@
+"""Declarative SLOs over observation streams, with burn-rate gauges.
+
+An :class:`SLOSpec` promises that a ``target`` fraction of observations
+on a named ``metric`` stream stay at or under a ``ceiling`` — the SLO
+form of "99% of decide latencies under 5 ms", "queue wait under budget",
+or "mispick rate under 10%" (a 0/1 stream with ceiling 0).  Each spec is
+evaluated *continuously* by an :class:`SLOTracker` over a sliding window
+of recent observations:
+
+* ``bad_fraction`` — the fraction of windowed observations over the
+  ceiling;
+* ``burn_rate`` — ``bad_fraction / (1 - target)``, the multi-window
+  alerting convention: 1.0 means the error budget is being spent exactly
+  as fast as the SLO allows, >1.0 means the budget is burning down and
+  the SLO will breach if the window's behavior persists;
+* ``breached`` — ``burn_rate > 1``.
+
+:class:`SLORegistry` routes observations to every tracker watching the
+stream and mirrors the evaluation into labeled gauges
+(``slo.burn_rate{slo=...}``, ``slo.bad_fraction{slo=...}``) plus an
+edge-triggered ``slo.breach`` counter, so ``/metrics`` and ``/slo``
+always reflect the live state.  Specs parse from compact CLI strings
+(``name:metric:ceiling[:target[:window]]``) for ``repro-serve --slo``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "DEFAULT_SERVE_SLOS",
+    "SLORegistry",
+    "SLOSpec",
+    "SLOTracker",
+]
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective over an observation stream."""
+
+    name: str
+    metric: str  # observation stream the objective watches
+    ceiling: float  # an observation > ceiling spends error budget
+    target: float = 0.99  # promised fraction of observations <= ceiling
+    window: int = 512  # observations the evaluation slides over
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.metric:
+            raise ValueError("an SLO needs a name and a metric stream")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
+    @classmethod
+    def parse(cls, text: str) -> "SLOSpec":
+        """Parse ``name:metric:ceiling[:target[:window]]``.
+
+        Raises:
+            ValueError: for a malformed spec string.
+        """
+        parts = text.split(":")
+        if not 3 <= len(parts) <= 5:
+            raise ValueError(
+                f"malformed SLO {text!r}; "
+                "expected name:metric:ceiling[:target[:window]]"
+            )
+        name, metric, ceiling = parts[0], parts[1], float(parts[2])
+        target = float(parts[3]) if len(parts) > 3 else 0.99
+        window = int(parts[4]) if len(parts) > 4 else 512
+        return cls(
+            name=name, metric=metric, ceiling=ceiling,
+            target=target, window=window,
+        )
+
+
+#: The serving defaults: a decide-latency tail, a queue-wait budget, and
+#: a mispick-rate ceiling over the quality observatory's 0/1 stream.
+DEFAULT_SERVE_SLOS: tuple[SLOSpec, ...] = (
+    SLOSpec(
+        name="decide_latency",
+        metric="decision_latency_ms",
+        ceiling=50.0,
+        target=0.99,
+        description="99% of decide latencies under 50 ms",
+    ),
+    SLOSpec(
+        name="queue_wait",
+        metric="queue_wait_ms",
+        ceiling=25.0,
+        target=0.95,
+        description="95% of queue waits under 25 ms",
+    ),
+    SLOSpec(
+        name="mispick_rate",
+        metric="mispick_rate",
+        ceiling=0.0,
+        target=0.90,
+        description="at most 10% of placements off the estimate argmin",
+    ),
+)
+
+
+@dataclass
+class SLOTracker:
+    """Continuous evaluation of one spec over its sliding window."""
+
+    spec: SLOSpec
+    observed: int = 0  # lifetime observations (monotone)
+    bad_total: int = 0  # lifetime budget spends (monotone)
+    _window: deque = field(default_factory=deque)
+    _window_bad: int = 0
+
+    def __post_init__(self) -> None:
+        self._window = deque(maxlen=self.spec.window)
+
+    def observe(self, value: float) -> bool:
+        """Fold one observation; True when it spent error budget."""
+        bad = value > self.spec.ceiling
+        if len(self._window) == self._window.maxlen and self._window[0]:
+            self._window_bad -= 1
+        self._window.append(bad)
+        self.observed += 1
+        if bad:
+            self._window_bad += 1
+            self.bad_total += 1
+        return bad
+
+    @property
+    def bad_fraction(self) -> float:
+        """Windowed fraction of observations over the ceiling."""
+        if not self._window:
+            return 0.0
+        return self._window_bad / len(self._window)
+
+    @property
+    def burn_rate(self) -> float:
+        """Error-budget burn multiple: >1 means the SLO is breaching."""
+        return self.bad_fraction / (1.0 - self.spec.target)
+
+    @property
+    def breached(self) -> bool:
+        # The epsilon keeps "exactly on budget" from flapping on float
+        # error in (1 - target): spending the whole budget is allowed,
+        # exceeding it is the breach.
+        return self.burn_rate > 1.0 + 1e-9
+
+    def status(self) -> dict:
+        """JSON-able live evaluation for ``/slo`` and the report CLI."""
+        spec = self.spec
+        return {
+            "name": spec.name,
+            "metric": spec.metric,
+            "ceiling": spec.ceiling,
+            "target": spec.target,
+            "window": spec.window,
+            "description": spec.description,
+            "observed": self.observed,
+            "window_n": len(self._window),
+            "bad_total": self.bad_total,
+            "bad_fraction": self.bad_fraction,
+            "burn_rate": self.burn_rate,
+            "breached": self.breached,
+        }
+
+
+class SLORegistry:
+    """Routes observation streams to trackers and exports their state."""
+
+    def __init__(
+        self,
+        specs: Iterable[SLOSpec] = (),
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.metrics = metrics
+        self._trackers: dict[str, SLOTracker] = {}
+        self._by_metric: dict[str, list[SLOTracker]] = {}
+        self._breached: set[str] = set()
+        for spec in specs:
+            self.install(spec)
+
+    def __len__(self) -> int:
+        return len(self._trackers)
+
+    def install(self, spec: SLOSpec) -> SLOTracker:
+        """Register one spec (replacing a same-named earlier one)."""
+        existing = self._trackers.get(spec.name)
+        if existing is not None:
+            self._by_metric[existing.spec.metric].remove(existing)
+            self._breached.discard(spec.name)
+        tracker = SLOTracker(spec)
+        self._trackers[spec.name] = tracker
+        self._by_metric.setdefault(spec.metric, []).append(tracker)
+        return tracker
+
+    def observe(self, metric: str, value: float) -> None:
+        """Feed one observation to every tracker watching ``metric``.
+
+        A metric nothing watches is a no-op, so instrumented code can
+        feed streams unconditionally.
+        """
+        trackers = self._by_metric.get(metric)
+        if not trackers:
+            return
+        for tracker in trackers:
+            tracker.observe(value)
+            self._export(tracker)
+
+    def _export(self, tracker: SLOTracker) -> None:
+        name = tracker.spec.name
+        breached = tracker.breached
+        if self.metrics is not None:
+            self.metrics.set_gauge("slo.burn_rate", tracker.burn_rate, slo=name)
+            self.metrics.set_gauge(
+                "slo.bad_fraction", tracker.bad_fraction, slo=name
+            )
+            if breached and name not in self._breached:
+                self.metrics.inc("slo.breach", slo=name)
+        if breached:
+            self._breached.add(name)
+        else:
+            self._breached.discard(name)
+
+    def tracker(self, name: str) -> SLOTracker:
+        """One tracker by SLO name.
+
+        Raises:
+            KeyError: for an uninstalled SLO.
+        """
+        return self._trackers[name]
+
+    def statuses(self) -> list[dict]:
+        """Live evaluation of every installed SLO, name order."""
+        return [
+            self._trackers[name].status() for name in sorted(self._trackers)
+        ]
+
+    def breached(self) -> list[str]:
+        """Names of currently breaching SLOs, sorted."""
+        return sorted(
+            name
+            for name, tracker in self._trackers.items()
+            if tracker.breached
+        )

@@ -1,12 +1,18 @@
 """Process-wide observability state and the no-op fast path.
 
 One :class:`ObsState` singleton owns the tracer, the metrics registry,
-the decision-record buffer, and the optional JSONL sink.  The facade
-functions here are what instrumented code calls; all of them check
-``state.enabled`` first and fall through to a no-op, so with
-``REPRO_OBS`` unset the per-call cost is one attribute load and a branch
-— no allocations, no locks, no I/O.  The guard test in
-``tests/obs/test_disabled.py`` pins that contract.
+the decision-record buffer, the prediction-quality observatory, the SLO
+registry, and the optional JSONL sink.  The facade functions here are
+what instrumented code calls; all of them check ``state.enabled`` first
+and fall through to a no-op, so with ``REPRO_OBS`` unset the per-call
+cost is one attribute load and a branch — no allocations, no locks, no
+I/O.  The guard test in ``tests/obs/test_disabled.py`` pins that
+contract.
+
+Spans created while a :func:`repro.obs.trace_context.trace_scope` is
+active are automatically tagged with the active trace id(s), which is
+how one request's ``trace_id`` stitches its queue-wait, flush, decide,
+placement, and execution spans together in the JSONL stream.
 
 Tests reconfigure the singleton with :func:`configure` (fake clocks,
 temp JSONL paths) and restore it with :func:`reset`.
@@ -17,12 +23,15 @@ from __future__ import annotations
 import atexit
 import time
 from dataclasses import replace
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.obs.audit import DecisionRecord
 from repro.obs.config import ObsConfig, config_from_env
 from repro.obs.events import JsonlSink
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.quality import RegretTracker
+from repro.obs.slo import SLORegistry, SLOSpec
+from repro.obs.trace_context import active_trace_ids
 from repro.obs.tracer import NOOP_SPAN, SpanRecord, Tracer
 
 __all__ = [
@@ -34,10 +43,14 @@ __all__ = [
     "quiet",
     "set_quiet",
     "span",
+    "record_span",
     "counter",
     "gauge",
     "histogram",
     "record_decision",
+    "trace_link",
+    "slo_observe",
+    "install_slos",
     "prometheus_text",
     "flush",
 ]
@@ -58,6 +71,17 @@ class ObsState:
         self.tracer = Tracer(clock=clock, emit=self._emit_span)
         self.metrics = MetricsRegistry()
         self.decisions: list[DecisionRecord] = []
+        #: The prediction-quality observatory and the SLO registry only
+        #: exist on the enabled path — disabled states keep the ``None``
+        #: so the facade's single-branch contract holds.
+        self.slos: SLORegistry | None = (
+            SLORegistry(metrics=self.metrics) if config.enabled else None
+        )
+        self.quality: RegretTracker | None = (
+            RegretTracker(metrics=self.metrics, slos=self.slos)
+            if config.enabled
+            else None
+        )
         self._flushed = False
 
     def _emit_span(self, record: SpanRecord) -> None:
@@ -126,10 +150,27 @@ def set_quiet(value: bool) -> None:
 
 
 def span(name: str, **attrs: object):
-    """A tracing span context manager; shared no-op when disabled."""
+    """A tracing span context manager; shared no-op when disabled.
+
+    Active trace contexts tag the span automatically: a single-request
+    scope adds ``trace_id``, a batch scope adds the row-ordered
+    ``trace_ids`` list.
+    """
     if not _state.enabled:
         return NOOP_SPAN
+    ids = active_trace_ids()
+    if ids:
+        if len(ids) == 1:
+            attrs.setdefault("trace_id", ids[0])
+        else:
+            attrs.setdefault("trace_ids", list(ids))
     return _state.tracer.span(name, **attrs)
+
+
+def record_span(name: str, start_s: float, end_s: float, **attrs: object) -> None:
+    """Record an externally measured interval as a span (e.g. queue wait)."""
+    if _state.enabled:
+        _state.tracer.record_span(name, start_s, end_s, **attrs)
 
 
 def counter(name: str, value: float = 1.0, **labels: object) -> None:
@@ -148,14 +189,50 @@ def histogram(name: str, value: float, **labels: object) -> None:
 
 
 def record_decision(record: DecisionRecord) -> None:
-    """Buffer (and export) one predictor decision-audit record."""
+    """Buffer (and export) one predictor decision-audit record.
+
+    The same payload dict feeds the JSONL sink and the quality
+    observatory, so an offline replay of the stream folds *exactly* the
+    records the online tracker saw, in the same order.
+    """
     if not _state.enabled:
         return
     _state.decisions.append(record)
     _state.metrics.inc("heteromap.decisions", accelerator=record.chosen_accelerator)
     _state.metrics.observe("heteromap.decision_margin_pct", record.margin_pct)
+    payload = record.as_dict()
     if _state.sink is not None:
-        _state.sink.emit("decision", record.as_dict())
+        _state.sink.emit("decision", payload)
+    if _state.quality is not None:
+        _state.quality.observe_record(payload)
+
+
+def trace_link(trace_id: str, origin: str) -> None:
+    """Record that ``trace_id``'s result was computed under ``origin``.
+
+    Emitted on decision-cache hits: the hit's request links back to the
+    trace that originally computed the cached entry.
+    """
+    if not _state.enabled:
+        return
+    _state.metrics.inc("trace.link")
+    if _state.sink is not None:
+        _state.sink.emit(
+            "trace_link", {"trace_id": trace_id, "origin": origin}
+        )
+
+
+def slo_observe(metric: str, value: float) -> None:
+    """Feed one observation to the SLO registry (no-op when unwatched)."""
+    if _state.enabled and _state.slos is not None:
+        _state.slos.observe(metric, value)
+
+
+def install_slos(specs: Iterable[SLOSpec]) -> None:
+    """Install SLO specs on the live registry (no-op when disabled)."""
+    if _state.enabled and _state.slos is not None:
+        for spec in specs:
+            _state.slos.install(spec)
 
 
 def prometheus_text() -> str:

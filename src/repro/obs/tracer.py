@@ -163,6 +163,36 @@ class Tracer:
         if self._emit is not None:
             self._emit(record)
 
+    def record_span(
+        self, name: str, start_s: float, end_s: float, **attrs: object
+    ) -> SpanRecord:
+        """Record a span whose interval was measured externally.
+
+        The serving path measures some intervals (a request's queue wait)
+        with timestamps taken outside any ``with`` block; this creates
+        the :class:`SpanRecord` retroactively.  The span parents under
+        whatever is live on the calling thread, so a queue-wait recorded
+        during a flush nests under the flush span.
+        """
+        stack = self._stack()
+        with self._lock:
+            index = self._next_index
+            self._next_index += 1
+        record = SpanRecord(
+            name=name,
+            index=index,
+            parent=stack[-1] if stack else -1,
+            depth=len(stack),
+            start_s=start_s,
+            end_s=end_s,
+            attrs=attrs,
+        )
+        with self._lock:
+            self.records.append(record)
+        if self._emit is not None:
+            self._emit(record)
+        return record
+
     def totals_by_name(self) -> dict[str, tuple[int, float]]:
         """``{span name: (call count, total seconds)}`` over all records."""
         totals: dict[str, tuple[int, float]] = {}

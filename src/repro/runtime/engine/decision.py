@@ -209,7 +209,23 @@ class DecisionService:
             NotTrainedError: before the predictor is trained.
         """
         self.require_trained()
+        with obs.span(
+            "decision.choose",
+            predictor=self.predictor_name,
+            batch=len(features),
+        ):
+            return self._choose_encoded(features)
+
+    def _choose_encoded(self, features: np.ndarray) -> list[CachedDecision]:
         keys = feature_keys_batch(features, fleet=self.fleet.fingerprint)
+        # Row-aligned request trace ids (the server's flush scope); used
+        # to stamp computed entries with their originating trace and to
+        # link each cache hit back to the trace that computed the entry.
+        row_traces: tuple[str, ...] = ()
+        if obs.enabled():
+            ids = obs.active_trace_ids()
+            if len(ids) == len(keys):
+                row_traces = ids
         cache = self.cache if self.cache_active else None
         decided: dict[tuple, CachedDecision | None] = {}
         miss_rows: list[int] = []
@@ -219,6 +235,8 @@ class DecisionService:
             entry = cache.get(key) if cache is not None else None
             if entry is not None:
                 decided[key] = entry
+                if row_traces and entry.origin_trace is not None:
+                    obs.trace_link(row_traces[index], entry.origin_trace)
             else:
                 miss_rows.append(index)
                 decided[key] = None  # placeholder: computed below
@@ -232,7 +250,12 @@ class DecisionService:
                 vectors = self.predictor.predict_batch(miss_features)
             decoded = decode_config_batch(vectors, self.gpu, self.multicore)
             for row, (spec, config), vector in zip(miss_rows, decoded, vectors):
-                entry = CachedDecision(spec=spec, config=config, vector=vector)
+                entry = CachedDecision(
+                    spec=spec,
+                    config=config,
+                    vector=vector,
+                    origin_trace=row_traces[row] if row_traces else None,
+                )
                 decided[keys[row]] = entry
                 if cache is not None:
                     cache.put(keys[row], entry)
@@ -345,8 +368,14 @@ class DecisionService:
         choice); the runner-up column is the decision's best estimate on
         any *other* device, so a ``solo`` placement audits exactly like
         the pre-fleet pair path did.
+
+        The record also carries the quality-observatory fields: the full
+        per-device cost vector (the regret counterfactual), the executed
+        time as ``observed_time_ms``, and the active request trace id
+        when the placement ran under one.
         """
         runner_up = decision.runner_up_excluding(spec.name, self.metric)
+        trace = obs.current_trace()
         obs.record_decision(
             obs.DecisionRecord(
                 benchmark=decision.workload.benchmark,
@@ -361,5 +390,9 @@ class DecisionService:
                 predicted_utilization=result.utilization,
                 runner_up_accelerator=runner_up.spec.name,
                 runner_up_time_ms=runner_up.time_ms,
+                devices=tuple(e.spec.name for e in decision.estimates),
+                costs_ms=decision.costs_ms,
+                observed_time_ms=result.time_ms,
+                trace_id=trace.trace_id if trace is not None else None,
             )
         )

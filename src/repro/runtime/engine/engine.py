@@ -19,6 +19,7 @@ that keeps only the outcomes; callers who want the fleet accounting use
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Sequence
 
 from repro import obs
@@ -59,7 +60,15 @@ class Engine:
             ValueError: for an unknown policy.
         """
         overhead_ms = self.decisions.require_trained()
-        with obs.span(
+        # One trace per workload: adopt the caller's request scope when it
+        # is row-aligned (the async server's flush), otherwise mint fresh
+        # ids so offline fleet runs are traceable end to end too.
+        contexts: tuple[obs.TraceContext, ...] = ()
+        if obs.enabled():
+            contexts = obs.active_traces()
+            if len(contexts) != len(workloads):
+                contexts = tuple(obs.mint_trace() for _ in workloads)
+        with obs.trace_scope(contexts), obs.span(
             "engine.run_fleet", policy=policy, batch=len(workloads)
         ) as span:
             decisions = self.decisions.decide_batch(list(workloads))
@@ -67,13 +76,7 @@ class Engine:
             outcomes = []
             for placement in placements:  # input order: audits line up
                 deployed = placement.deployed
-                result = self.backend.execute(
-                    placement.decision.workload, deployed.spec, deployed.config
-                )
-                if obs.enabled():
-                    self.decisions.audit(
-                        placement.decision, deployed.spec, deployed.config, result
-                    )
+                result = self._execute(placement, contexts)
                 outcomes.append(
                     RunOutcome.from_execution(
                         placement.decision.workload,
@@ -101,6 +104,37 @@ class Engine:
                         policy=policy,
                     )
         return report
+
+    def _execute(self, placement, contexts):
+        """Run one placement under its request trace (if any) and audit it."""
+        deployed = placement.deployed
+        if not obs.enabled():
+            return self.backend.execute(
+                placement.decision.workload, deployed.spec, deployed.config
+            )
+        context = (
+            contexts[placement.order]
+            if placement.order < len(contexts)
+            else None
+        )
+        scope = (
+            obs.trace_scope((context,))
+            if context is not None
+            else nullcontext()
+        )
+        with scope:
+            with obs.span(
+                "backend.execute",
+                device=deployed.spec.name,
+                backend=self.backend.name,
+            ):
+                result = self.backend.execute(
+                    placement.decision.workload, deployed.spec, deployed.config
+                )
+            self.decisions.audit(
+                placement.decision, deployed.spec, deployed.config, result
+            )
+        return result
 
     def _report(
         self,

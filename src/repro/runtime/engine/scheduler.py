@@ -103,6 +103,14 @@ class Scheduler:
         Raises:
             ValueError: for a policy outside :data:`POLICIES`.
         """
+        with obs.span(
+            "scheduler.place", policy=policy, batch=len(decisions)
+        ):
+            return self._place(decisions, policy)
+
+    def _place(
+        self, decisions: "list[Decision]", policy: str
+    ) -> list[Placement]:
         if policy == "solo":
             placements = self._place_solo(decisions)
         elif policy == "load-aware":

@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import time
 from pathlib import Path
 
 import numpy as np
@@ -88,6 +89,26 @@ def _write_artifact(
         _histogram_line("decision_latency_ms", server.stats.latencies_ms),
         _histogram_line("queue_wait_ms", server.stats.queue_waits_ms),
     ]
+    # Per-tenant latency lines: per-tenant p99 is derivable offline
+    # without re-running load.
+    for tenant in sorted(server.stats.tenant_latencies_ms):
+        line = _histogram_line(
+            "tenant_latency_ms", server.stats.tenant_latencies_ms[tenant]
+        )
+        line["tenant"] = tenant
+        lines.append(line)
+    if obs.enabled():
+        state = obs.state()
+        if state.quality is not None:
+            lines.append({"kind": "quality", **state.quality.summary()})
+        if state.slos is not None:
+            lines.append(
+                {
+                    "kind": "slo",
+                    "slos": state.slos.statuses(),
+                    "breached": state.slos.breached(),
+                }
+            )
     atomic_write_text(
         path, "".join(json.dumps(line) + "\n" for line in lines)
     )
@@ -165,6 +186,21 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 3 if p99 decision latency exceeds this ceiling",
     )
     parser.add_argument(
+        "--obs-port", type=int, default=None, metavar="PORT",
+        help="serve live /metrics, /healthz, and /slo on this port "
+        "(0 = ephemeral) for the duration of the run",
+    )
+    parser.add_argument(
+        "--obs-linger", type=float, default=0.0, metavar="SEC",
+        help="keep the --obs-port endpoint up this long after the run "
+        "(CI scrape window; default: 0)",
+    )
+    parser.add_argument(
+        "--slo", action="append", default=None, metavar="SPEC",
+        help="install an SLO as name:metric:ceiling[:target[:window]] "
+        "(repeatable; adds to the serving defaults)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress informational output (errors still print)",
     )
@@ -172,6 +208,21 @@ def main(argv: list[str] | None = None) -> int:
     if args.quiet:
         obs.set_quiet(True)
     log = obs.get_logger("serve")
+
+    if obs.enabled():
+        obs.install_slos(obs.DEFAULT_SERVE_SLOS)
+        for text in args.slo or ():
+            try:
+                obs.install_slos([obs.SLOSpec.parse(text)])
+            except ValueError as error:
+                parser.error(str(error))
+    elif args.slo:
+        log.warning("slo_ignored", reason="REPRO_OBS is disabled")
+
+    exposition = None
+    if args.obs_port is not None:
+        exposition = obs.start_exposition(port=args.obs_port)
+        log.info("obs_http", url=exposition.url)
 
     hetero = HeteroMap(
         (args.pair[0], args.pair[1]), predictor=args.predictor, seed=args.seed
@@ -199,6 +250,7 @@ def main(argv: list[str] | None = None) -> int:
             mode=args.mode,
         ),
         backend=hetero.engine.backend,
+        scheduler=hetero.scheduler,
     )
     tenants = [f"tenant-{i}" for i in range(max(1, args.tenants))]
 
@@ -250,8 +302,11 @@ def main(argv: list[str] | None = None) -> int:
         failed.append(f"{report.dropped} admitted requests dropped")
     if failed:
         log.error("gate_failed", reasons="; ".join(failed))
-        return 3
-    return 0
+    if exposition is not None:
+        if args.obs_linger > 0:
+            time.sleep(args.obs_linger)
+        exposition.close()
+    return 3 if failed else 0
 
 
 if __name__ == "__main__":

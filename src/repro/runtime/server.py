@@ -51,6 +51,7 @@ from repro.runtime.deploy import Workload
 from repro.runtime.engine.contracts import RunOutcome
 from repro.runtime.engine.decision import DecisionService
 from repro.runtime.engine.execution import ExecutionBackend, SimulatedBackend
+from repro.runtime.engine.scheduler import POLICIES, Scheduler
 
 __all__ = [
     "DecisionServer",
@@ -123,6 +124,12 @@ class ServerConfig:
     #: (hot pools re-submit the same prepared Workload, so the encode pass
     #: — the single largest per-request cost — amortizes to a dict hit).
     feature_memo_capacity: int = 4096
+    #: Placement policy for ``"run"`` mode flushes (see
+    #: :data:`repro.runtime.engine.scheduler.POLICIES`).  ``"solo"`` is
+    #: bit-identical to executing each chosen estimate directly, so the
+    #: default changes nothing about served outcomes — it just gives every
+    #: server request a placement span in the trace stream.
+    placement_policy: str = "solo"
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -138,6 +145,11 @@ class ServerConfig:
             )
         if self.mode not in ("plan", "decide", "run"):
             raise ValueError(f"unknown server mode {self.mode!r}")
+        if self.placement_policy not in POLICIES:
+            raise ValueError(
+                f"unknown placement policy {self.placement_policy!r}; "
+                f"known: {POLICIES}"
+            )
 
 
 @dataclass
@@ -161,12 +173,22 @@ class ServerStats:
     queue_waits_ms: list[float] = field(default_factory=list)
     #: Requests per flush (batch occupancy).
     batch_sizes: list[int] = field(default_factory=list)
+    #: Per-tenant decision-latency samples (ms) — the raw series the
+    #: serve artifact's per-tenant p99 lines are derived from.
+    tenant_latencies_ms: dict[str, list[float]] = field(default_factory=dict)
 
     def latency_percentile(self, q: float) -> float:
         """The q-th percentile of decision latency in ms (0 when empty)."""
         if not self.latencies_ms:
             return 0.0
         return float(np.percentile(self.latencies_ms, q))
+
+    def tenant_latency_percentile(self, tenant: str, q: float) -> float:
+        """One tenant's q-th latency percentile in ms (0 when unseen)."""
+        samples = self.tenant_latencies_ms.get(tenant)
+        if not samples:
+            return 0.0
+        return float(np.percentile(samples, q))
 
     def queue_wait_percentile(self, q: float) -> float:
         """The q-th percentile of queue wait in ms (0 when empty)."""
@@ -185,13 +207,15 @@ class ServerStats:
 class _Request:
     """One admitted request (slotted: this is allocated per arrival)."""
 
-    __slots__ = ("tag", "workload", "arrival_s", "callback")
+    __slots__ = ("tag", "workload", "arrival_s", "callback", "tenant", "trace")
 
-    def __init__(self, tag, workload, arrival_s, callback) -> None:
+    def __init__(self, tag, workload, arrival_s, callback, tenant, trace) -> None:
         self.tag = tag
         self.workload = workload
         self.arrival_s = arrival_s
         self.callback = callback
+        self.tenant = tenant
+        self.trace = trace  # TraceContext | None (None when obs is off)
 
 
 class DecisionServer:
@@ -203,11 +227,15 @@ class DecisionServer:
         config: ServerConfig | None = None,
         *,
         backend: ExecutionBackend | None = None,
+        scheduler: Scheduler | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.decisions = decisions
         self.config = config or ServerConfig()
         self.backend: ExecutionBackend = backend or SimulatedBackend()
+        #: Placement layer for ``"run"`` flushes; defaults to a scheduler
+        #: over the decision service's own fleet.
+        self.scheduler = scheduler or Scheduler(decisions.fleet)
         self.clock = clock
         self.stats = ServerStats()
         self._queues: dict[str, deque[_Request]] = {}
@@ -322,6 +350,8 @@ class DecisionServer:
             workload,
             self.clock() if arrival_s is None else arrival_s,
             callback,
+            tenant,
+            obs.mint_trace() if obs.enabled() else None,
         )
         queue = self._queues.get(tenant)
         if queue is None:
@@ -445,7 +475,19 @@ class DecisionServer:
         if not batch:
             return 0
         flush_start = self.clock()
-        results = self._serve(batch)
+        if obs.enabled():
+            # Row-aligned request scope: every span below (flush, decide,
+            # predict, place, execute) carries the batch's trace ids, and
+            # the decision layer can attribute cache hits per row.
+            with obs.trace_scope([r.trace for r in batch]), obs.span(
+                "server.flush",
+                reason=reason,
+                batch=len(batch),
+                mode=self.config.mode,
+            ):
+                results = self._serve(batch)
+        else:
+            results = self._serve(batch)
         done = self.clock()
         stats = self.stats
         stats.flushes += 1
@@ -454,9 +496,15 @@ class DecisionServer:
         stats.completed += len(batch)
         waits = stats.queue_waits_ms
         lats = stats.latencies_ms
+        tenant_lats = stats.tenant_latencies_ms
         for request in batch:
             waits.append((flush_start - request.arrival_s) * 1e3)
-            lats.append((done - request.arrival_s) * 1e3)
+            latency = (done - request.arrival_s) * 1e3
+            lats.append(latency)
+            per_tenant = tenant_lats.get(request.tenant)
+            if per_tenant is None:
+                per_tenant = tenant_lats[request.tenant] = []
+            per_tenant.append(latency)
         elapsed = done - flush_start
         if elapsed > 0:
             rate = len(batch) / elapsed
@@ -466,7 +514,7 @@ class DecisionServer:
                 else 0.8 * self._service_rate + 0.2 * rate
             )
         if obs.enabled():
-            self._observe(batch, reason, done)
+            self._observe(batch, results, reason, flush_start, done)
         for request, result in zip(batch, results):
             if request.callback is not None:
                 request.callback(request.tag, result)
@@ -486,36 +534,103 @@ class DecisionServer:
         if mode == "decide":
             return decisions
         overhead_ms = self.decisions.require_trained()
-        outcomes = []
-        for decision in decisions:
-            result = self.backend.execute(
-                decision.workload, decision.spec, decision.config
+        # Run mode routes through the placement layer.  Under the default
+        # "solo" policy every placement is the chosen estimate in input
+        # order, so outcomes are bit-identical to executing decisions
+        # directly — the scheduler only adds the placement span/metrics
+        # and, under a fleet policy, load-aware device assignment.
+        placements = self.scheduler.place(
+            decisions, policy=self.config.placement_policy
+        )
+        outcomes: list[RunOutcome | None] = [None] * len(batch)
+        traced = obs.enabled()
+        for placement in placements:
+            deployed = placement.deployed
+            request = batch[placement.order]
+            scope = (
+                obs.trace_scope((request.trace,))
+                if traced and request.trace is not None
+                else contextlib.nullcontext()
             )
-            if obs.enabled():
-                self.decisions.audit(
-                    decision, decision.spec, decision.config, result
-                )
-            outcomes.append(
-                RunOutcome.from_execution(
-                    decision.workload,
-                    decision.spec,
-                    decision.config,
-                    result,
-                    overhead_ms,
-                )
+            with scope:
+                if traced:
+                    with obs.span(
+                        "backend.execute",
+                        device=deployed.spec.name,
+                        backend=self.backend.name,
+                        tenant=request.tenant,
+                    ):
+                        result = self.backend.execute(
+                            placement.decision.workload,
+                            deployed.spec,
+                            deployed.config,
+                        )
+                    self.decisions.audit(
+                        placement.decision, deployed.spec, deployed.config, result
+                    )
+                else:
+                    result = self.backend.execute(
+                        placement.decision.workload,
+                        deployed.spec,
+                        deployed.config,
+                    )
+            outcomes[placement.order] = RunOutcome.from_execution(
+                placement.decision.workload,
+                deployed.spec,
+                deployed.config,
+                result,
+                overhead_ms,
             )
         return outcomes
 
-    def _observe(self, batch: list[_Request], reason: str, done: float) -> None:
+    @staticmethod
+    def _shards(mode: str, results: list) -> list[str]:
+        """Per-row routed device names (the serving "shard" label)."""
+        if mode == "plan":
+            return [spec.name for spec, _config in results]
+        if mode == "decide":
+            return [decision.spec.name for decision in results]
+        return [outcome.chosen_accelerator for outcome in results]
+
+    def _observe(
+        self,
+        batch: list[_Request],
+        results: list,
+        reason: str,
+        flush_start: float,
+        done: float,
+    ) -> None:
         """Stream this flush into the obs registry (enabled path only)."""
         obs.counter("server.admitted", len(batch))
         obs.counter("server.flush", reason=reason)
         obs.histogram("server.batch_occupancy", len(batch))
+        shards = self._shards(self.config.mode, results)
+        routed: dict[tuple[str, str], int] = {}
         tail = len(batch)
-        for wait, latency in zip(
-            self.stats.queue_waits_ms[-tail:], self.stats.latencies_ms[-tail:]
+        for request, shard, wait, latency in zip(
+            batch,
+            shards,
+            self.stats.queue_waits_ms[-tail:],
+            self.stats.latencies_ms[-tail:],
         ):
             obs.histogram("server.queue_wait_ms", wait)
             obs.histogram("server.decision_latency_ms", latency)
+            obs.histogram(
+                "server.tenant_latency_ms", latency, tenant=request.tenant
+            )
+            key = (request.tenant, shard)
+            routed[key] = routed.get(key, 0) + 1
+            if request.trace is not None:
+                obs.record_span(
+                    "server.queue_wait",
+                    start_s=request.arrival_s,
+                    end_s=flush_start,
+                    trace_id=request.trace.trace_id,
+                    tenant=request.tenant,
+                )
+            obs.slo_observe("queue_wait_ms", wait)
+            obs.slo_observe("decision_latency_ms", latency)
+        for (tenant, shard), count in sorted(routed.items()):
+            obs.counter("server.requests", count, tenant=tenant, shard=shard)
         obs.gauge("server.pending", self._pending)
         obs.gauge("server.service_rate_per_sec", self._service_rate)

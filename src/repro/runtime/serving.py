@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -126,6 +126,10 @@ class CachedDecision:
     spec: AcceleratorSpec
     config: MachineConfig
     vector: np.ndarray  # read-only copy of the predicted target vector
+    #: Trace id of the request whose miss computed this entry (``None``
+    #: outside a traced request).  Cache hits link back to it, so a
+    #: served decision's provenance survives the memoization.
+    origin_trace: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         vector = np.array(self.vector, dtype=np.float64, copy=True)

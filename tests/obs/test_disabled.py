@@ -54,6 +54,23 @@ class TestDisabledPath:
         obs.record_decision(record)
         assert state.decisions == []
 
+    def test_quality_and_slo_planes_are_not_built(self):
+        state = obs.configure(obs.ObsConfig(enabled=False))
+        assert state.quality is None
+        assert state.slos is None
+
+    def test_observability_facades_are_noops(self):
+        state = obs.configure(obs.ObsConfig(enabled=False))
+        obs.record_span("server.queue_wait", start_s=0.0, end_s=1.0)
+        obs.trace_link("t-hit", "t-miss")
+        obs.install_slos(obs.DEFAULT_SERVE_SLOS)
+        obs.slo_observe("decision_latency_ms", 100.0)
+        assert state.tracer.records == []
+        assert state.metrics.counters == {}
+        assert state.slos is None
+        assert obs.current_trace() is None
+        assert obs.active_trace_ids() == ()
+
     def test_instrumented_hot_path_stays_clean(self):
         """A real simulate() call must leave zero observable residue."""
         from repro.accel.simulator import simulate

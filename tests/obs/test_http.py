@@ -1,0 +1,99 @@
+"""The stdlib exposition endpoint: /metrics, /healthz, /slo."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.http import ObsHTTPServer, start_exposition
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+@pytest.fixture
+def server():
+    http = ObsHTTPServer(
+        port=0,
+        metrics_text=lambda: 'repro_up{dataset="a\\"b"} 1\n',
+        slo_payload=lambda: {"enabled": True, "slos": []},
+    ).start()
+    yield http
+    http.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, _, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert body == "ok\n"
+
+    def test_metrics_serves_prometheus_text(self, server):
+        status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        assert 'repro_up{dataset="a\\"b"} 1' in body
+
+    def test_slo_serves_json(self, server):
+        status, headers, body = _get(server.url + "/slo")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        assert json.loads(body) == {"enabled": True, "slos": []}
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_trailing_slash_and_query_ignored(self, server):
+        status, _, _ = _get(server.url + "/healthz/?probe=1")
+        assert status == 200
+
+
+class TestStartExposition:
+    def test_serves_live_singleton_state(self, enabled_obs):
+        obs.counter("serve.cache_hit", 3, predictor="deep128")
+        obs.install_slos(
+            [obs.SLOSpec(name="lat", metric="ms", ceiling=1.0, target=0.9,
+                         window=4)]
+        )
+        obs.slo_observe("ms", 100.0)
+        http = start_exposition(port=0)
+        try:
+            _, _, metrics = _get(http.url + "/metrics")
+            assert 'repro_serve_cache_hit{predictor="deep128"} 3' in metrics
+            assert "# TYPE repro_serve_cache_hit counter" in metrics
+            _, _, body = _get(http.url + "/slo")
+            payload = json.loads(body)
+            assert payload["enabled"] is True
+            assert payload["breached"] == ["lat"]
+            (status,) = payload["slos"]
+            assert status["name"] == "lat"
+            assert status["burn_rate"] == pytest.approx(10.0)
+            assert payload["quality"]["observed"] == 0
+            # Live means live: later writes show up on the next scrape.
+            obs.counter("serve.cache_hit", 2, predictor="deep128")
+            _, _, metrics = _get(http.url + "/metrics")
+            assert 'repro_serve_cache_hit{predictor="deep128"} 5' in metrics
+        finally:
+            http.close()
+
+    def test_disabled_state_still_scrapeable(self):
+        obs.configure(obs.ObsConfig(enabled=False))
+        http = start_exposition(port=0)
+        try:
+            status, _, _ = _get(http.url + "/healthz")
+            assert status == 200
+            _, _, body = _get(http.url + "/slo")
+            payload = json.loads(body)
+            assert payload["enabled"] is False
+            assert payload["slos"] == []
+        finally:
+            http.close()

@@ -96,3 +96,110 @@ class TestExportRoundTrip:
         text = registry.to_prometheus()
         assert 'repro_h_bucket{le="1"} 1' in text
         assert 'repro_h_bucket{le="10"} 2' in text
+
+
+class TestPrometheusEscaping:
+    """Hostile label values must not tear the exposition text apart."""
+
+    def test_label_values_escaped_per_exposition_spec(self):
+        registry = MetricsRegistry()
+        registry.inc(
+            "hits",
+            dataset='usa"cal',
+            path="C:\\graphs\\road",
+            note="line one\nline two",
+        )
+        text = registry.to_prometheus()
+        assert 'dataset="usa\\"cal"' in text
+        assert 'path="C:\\\\graphs\\\\road"' in text
+        assert 'note="line one\\nline two"' in text
+        # One data line per series: the raw newline never leaks through.
+        data_lines = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert len(data_lines) == 1
+
+    def test_gauge_and_histogram_labels_escaped_too(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 1.0, label='a"b')
+        registry.observe("h", 1.0, label="c\\d")
+        text = registry.to_prometheus()
+        assert 'repro_g{label="a\\"b"} 1' in text
+        assert 'repro_h_count{label="c\\\\d"} 1' in text
+
+    def test_help_and_type_lines(self):
+        registry = MetricsRegistry()
+        registry.inc("cache.hit")
+        registry.describe("cache.hit", 'lookups served\nfrom "disk"')
+        text = registry.to_prometheus()
+        # HELP escapes backslash + newline (quotes stay raw per the spec).
+        assert (
+            '# HELP repro_cache_hit lookups served\\nfrom "disk"' in text
+        )
+        assert "# TYPE repro_cache_hit counter" in text
+
+    def test_undescribed_metric_gets_default_help(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("serve.pending", 0.0)
+        text = registry.to_prometheus()
+        assert "# HELP repro_serve_pending repro metric serve.pending" in text
+        assert "# TYPE repro_serve_pending gauge" in text
+
+
+class TestInterleavedMultiProcessMerge:
+    """Histogram snapshot merge under interleaved writers (satellite).
+
+    Two processes observing disjoint sample streams and snapshotting
+    independently must merge to exactly the registry that observed the
+    union — and cumulative bucket counts must stay monotone however the
+    snapshots interleave.
+    """
+
+    def _observe(self, registry: MetricsRegistry, samples) -> None:
+        for value in samples:
+            registry.observe("latency_ms", value, path="serve")
+
+    def test_merge_of_interleaved_snapshots_equals_union(self):
+        samples_a = [0.5, 3.0, 40.0, 900.0]
+        samples_b = [0.05, 3.0, 55.0, 2_000.0, 2_000.0]
+
+        # Writer A and B snapshot twice each, mid-stream — the torn-in-
+        # half snapshots model JSONL metrics events from two processes
+        # that exited at different times.
+        writer_a, writer_b = MetricsRegistry(), MetricsRegistry()
+        self._observe(writer_a, samples_a[:2])
+        snap_a1 = writer_a.as_dict()
+        self._observe(writer_b, samples_b[:3])
+        snap_b1 = writer_b.as_dict()
+
+        late_a, late_b = MetricsRegistry(), MetricsRegistry()
+        self._observe(late_a, samples_a[2:])
+        self._observe(late_b, samples_b[3:])
+
+        merged = MetricsRegistry()
+        for snapshot in (snap_b1, late_a.as_dict(), snap_a1, late_b.as_dict()):
+            merged.merge_dict(snapshot)
+
+        union = MetricsRegistry()
+        self._observe(union, samples_a + samples_b)
+        assert merged.as_dict() == union.as_dict()
+
+    def test_cumulative_counts_monotone_after_each_merge(self):
+        merged = MetricsRegistry()
+        previous = None
+        for start in range(4):
+            writer = MetricsRegistry()
+            self._observe(writer, [10.0 ** (start - 1)] * (start + 1))
+            merged.merge_dict(writer.as_dict())
+            entry = merged.as_dict()["histograms"]["latency_ms"][0]
+            histogram = Histogram(bounds=tuple(entry["bounds"]))
+            histogram.counts = list(entry["counts"])
+            cumulative = histogram.cumulative()
+            assert cumulative == sorted(cumulative)  # non-decreasing
+            assert cumulative[-1] == entry["count"]
+            if previous is not None:
+                assert all(
+                    now >= before
+                    for now, before in zip(cumulative, previous)
+                )
+            previous = cumulative

@@ -5,7 +5,13 @@ from __future__ import annotations
 import json
 
 import repro.obs as obs
-from repro.obs.report import build_report, load_events, main, merged_metrics
+from repro.obs.report import (
+    build_report,
+    load_events,
+    load_events_counted,
+    main,
+    merged_metrics,
+)
 
 
 def _write_stream(path, events):
@@ -52,6 +58,13 @@ class TestLoadEvents:
         path.write_text('{"kind": "span"}\n\n{"kind": "spa')
         assert load_events(path) == [{"kind": "span"}]
 
+    def test_counted_loader_reports_corrupt_lines(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"kind": "span"}\nnot json\n{"kind": "spa')
+        events, corrupt = load_events_counted(path)
+        assert events == [{"kind": "span"}]
+        assert corrupt == 2  # blank lines are fine; torn JSON is not
+
 
 class TestBuildReport:
     def test_sections(self, tmp_path):
@@ -84,6 +97,37 @@ class TestBuildReport:
         assert "1 within 5% of the runner-up" in report
 
 
+def _audited_decision(chosen="gtx750ti", costs=(10.0, 15.0), observed=10.0):
+    base = _demo_events()[3]
+    return dict(
+        base,
+        chosen_accelerator=chosen,
+        devices=["gtx750ti", "xeonphi7120p"],
+        costs_ms=list(costs),
+        observed_time_ms=observed,
+    )
+
+
+class TestQualitySection:
+    def test_renders_regret_table(self):
+        events = [
+            _audited_decision(),
+            _audited_decision(chosen="xeonphi7120p", costs=(10.0, 25.0)),
+        ]
+        report = build_report(events)
+        assert "prediction quality (2 audited placements" in report
+        assert "deep128" in report
+        assert "sssp_bf" in report
+        # The xeonphi pick against a 10ms gtx oracle is a mispick.
+        assert "mispick" in report
+        assert "drift alarms" in report
+
+    def test_pre_quality_records_fall_back_gracefully(self):
+        report = build_report(_demo_events())  # no devices/costs_ms fields
+        assert "prediction quality: no regret-auditable decisions" in report
+        assert "(1 pre-quality-schema records skipped)" in report
+
+
 class TestMergedMetrics:
     def test_counters_sum_across_snapshots(self):
         registry = merged_metrics(_demo_events())
@@ -111,3 +155,17 @@ class TestCli:
         err = capsys.readouterr().err
         assert "no event stream" in err
         assert "REPRO_OBS=jsonl" in err
+
+    def test_corrupt_lines_exit_one_but_still_report(self, tmp_path, capsys):
+        path = tmp_path / "s.jsonl"
+        _write_stream(path, _demo_events())
+        with open(path, "a") as handle:
+            handle.write('{"kind": "span", "name": "torn.mid.wri')
+        assert main([str(path)]) == 1
+        captured = capsys.readouterr()
+        # The intact events still render in full...
+        assert "decision audit" in captured.out
+        # ...and the damage is called out loudly on stderr.
+        assert "1 truncated/corrupt JSONL line(s)" in captured.err
+        assert str(path) in captured.err
+        assert "6 intact events" in captured.err

@@ -1,0 +1,140 @@
+"""Declarative SLOs: spec parsing, burn rates, breach accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import DEFAULT_SERVE_SLOS, SLORegistry, SLOSpec, SLOTracker
+
+
+class TestSpec:
+    def test_parse_minimal(self):
+        spec = SLOSpec.parse("p99:decision_latency_ms:5.0")
+        assert spec == SLOSpec(
+            name="p99", metric="decision_latency_ms", ceiling=5.0
+        )
+
+    def test_parse_full(self):
+        spec = SLOSpec.parse("q:queue_wait_ms:2.5:0.95:128")
+        assert spec.target == 0.95
+        assert spec.window == 128
+
+    @pytest.mark.parametrize(
+        "text", ["", "just-a-name", "a:b", "a:b:c:d:e:f", "a:b:notafloat"]
+    )
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            SLOSpec.parse(text)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"metric": ""},
+            {"target": 0.0},
+            {"target": 1.0},
+            {"window": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(name="n", metric="m", ceiling=1.0)
+        with pytest.raises(ValueError):
+            SLOSpec(**{**base, **kwargs})
+
+    def test_defaults_cover_latency_wait_and_mispicks(self):
+        metrics = {spec.metric for spec in DEFAULT_SERVE_SLOS}
+        assert metrics == {
+            "decision_latency_ms", "queue_wait_ms", "mispick_rate",
+        }
+
+
+class TestTracker:
+    def _tracker(self, **kwargs) -> SLOTracker:
+        base = dict(name="t", metric="m", ceiling=10.0, target=0.9, window=10)
+        return SLOTracker(SLOSpec(**{**base, **kwargs}))
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        tracker = self._tracker()
+        for value in [1.0] * 8 + [100.0] * 2:
+            tracker.observe(value)
+        assert tracker.bad_fraction == pytest.approx(0.2)
+        # 20% bad against a 10% budget: burning 2x.
+        assert tracker.burn_rate == pytest.approx(2.0)
+        assert tracker.breached
+
+    def test_exactly_on_budget_is_not_breached(self):
+        tracker = self._tracker()
+        for value in [1.0] * 9 + [100.0]:
+            tracker.observe(value)
+        assert tracker.burn_rate == pytest.approx(1.0)
+        assert not tracker.breached
+
+    def test_window_slides_and_lifetime_counts_stay_monotone(self):
+        tracker = self._tracker(window=4)
+        for value in [100.0] * 4 + [1.0] * 4:
+            tracker.observe(value)
+        assert tracker.bad_fraction == 0.0  # bad samples aged out
+        assert tracker.bad_total == 4  # lifetime count kept them
+        assert tracker.observed == 8
+
+    def test_ceiling_is_inclusive(self):
+        tracker = self._tracker(ceiling=5.0)
+        tracker.observe(5.0)
+        assert tracker.bad_fraction == 0.0
+
+    def test_status_is_json_able(self):
+        import json
+
+        status = self._tracker().status()
+        json.dumps(status)
+        assert status["name"] == "t"
+        assert status["breached"] is False
+
+
+class TestRegistry:
+    def _registry(self):
+        metrics = MetricsRegistry()
+        registry = SLORegistry(
+            [SLOSpec(name="lat", metric="ms", ceiling=10.0, target=0.9,
+                     window=10)],
+            metrics=metrics,
+        )
+        return registry, metrics
+
+    def test_observe_routes_and_exports_gauges(self):
+        registry, metrics = self._registry()
+        registry.observe("ms", 100.0)
+        registry.observe("unwatched", 1.0)  # silently ignored
+        assert registry.tracker("lat").observed == 1
+        assert metrics.gauges["slo.burn_rate"][
+            (("slo", "lat"),)
+        ] == pytest.approx(10.0)
+
+    def test_breach_counter_is_edge_triggered(self):
+        registry, metrics = self._registry()
+        for _ in range(5):
+            registry.observe("ms", 100.0)  # breaching the whole time
+        assert metrics.counter_value("slo.breach", slo="lat") == 1.0
+        for _ in range(20):
+            registry.observe("ms", 1.0)  # recover
+        assert registry.breached() == []
+        for _ in range(5):
+            registry.observe("ms", 100.0)  # breach again
+        assert metrics.counter_value("slo.breach", slo="lat") == 2.0
+
+    def test_install_replaces_same_name(self):
+        registry, _ = self._registry()
+        registry.install(
+            SLOSpec(name="lat", metric="other_ms", ceiling=1.0, target=0.5)
+        )
+        assert len(registry) == 1
+        registry.observe("ms", 100.0)  # old metric no longer watched
+        assert registry.tracker("lat").observed == 0
+
+    def test_statuses_sorted_and_unknown_tracker_raises(self):
+        registry, _ = self._registry()
+        registry.install(SLOSpec(name="aaa", metric="x", ceiling=1.0))
+        assert [s["name"] for s in registry.statuses()] == ["aaa", "lat"]
+        with pytest.raises(KeyError):
+            registry.tracker("absent")
