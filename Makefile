@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench bench-force bench-serve bench-scheduler bench-fleet \
-	bench-serving serve fuzz fuzz-deep obs-report
+	bench-serving bench-shard serve fuzz fuzz-deep obs-report
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,6 +44,13 @@ bench-fleet:
 # dynamic-batching server (sustained decisions/sec, p50/p99 latency).
 bench-serving:
 	$(PYTHON) benchmarks/bench_sweep.py --sections serving_async
+
+# Only the shard-scaling section: the consistent-hash shard router at
+# shards=2/4 vs the single-process closed loop, with the bit-identity /
+# zero-drop / shard-local invariants enforced.  On hosts with enough
+# CPUs the shards=4 headline must clear the 2x floor to record.
+bench-shard:
+	$(PYTHON) benchmarks/bench_sweep.py --sections shard_scaling
 
 # Drive the async serving front end directly (see repro-serve --help for
 # trace shape, batching knobs, gates, and the JSONL artifact).

@@ -53,6 +53,15 @@ class Predictor(abc.ABC):
     #: cache is exact — only the path differs).
     prefer_decision_cache: bool = True
 
+    #: Whether a row's ``predict_batch`` output is independent of which
+    #: other rows share the batch.  True for per-row evaluation (the
+    #: fallback loop, tree walks); matrix models set this False because
+    #: BLAS dispatches different kernels by batch shape (GEMV for one
+    #: row, blocked GEMM otherwise) whose sums round a few ULP apart.
+    #: The decision layer quantizes shape-dependent predictions before
+    #: decoding so decisions stay a pure function of the feature row.
+    batch_shape_independent: bool = True
+
     @abc.abstractmethod
     def predict_vector(self, features: np.ndarray) -> np.ndarray:
         """Predict the normalized M target vector for one feature row."""
@@ -86,6 +95,10 @@ class Predictor(abc.ABC):
 
 class LearnedPredictor(Predictor):
     """Base class for predictors trained on an offline database."""
+
+    # Learned models predict with one matrix pass over the whole batch;
+    # per-row exact subclasses (the CART tree walk) override this back.
+    batch_shape_independent: bool = False
 
     def __init__(self) -> None:
         self._trained = False

@@ -44,6 +44,10 @@ class CartPredictor(LearnedPredictor):
     # the cache and always takes the batched forward.
     prefer_decision_cache = False
 
+    # The lockstep descent compares and gathers — no reductions — so a
+    # row's leaf vector never depends on its batch mates.
+    batch_shape_independent = True
+
     def __init__(self, *, max_depth: int = 8, min_samples: int = 8) -> None:
         super().__init__()
         if max_depth < 1 or min_samples < 1:

@@ -26,7 +26,12 @@ from repro.tuning.exhaustive import best_on_pair
 from repro.workload.profile import build_profile
 from repro.workload.synthetic import SyntheticSample, generate_samples
 
-__all__ = ["available_cpus", "label_sample", "build_training_database"]
+__all__ = [
+    "available_cpus",
+    "effective_workers",
+    "label_sample",
+    "build_training_database",
+]
 
 
 def label_sample(
@@ -84,12 +89,16 @@ def available_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def _effective_workers(workers: int, num_samples: int) -> int:
+def effective_workers(workers: int, num_samples: int) -> int:
     """Worker count the build will really use (1 means the serial path).
 
     Clamps to the CPUs the process can run on — extra workers on a
     saturated host only add IPC and scheduling overhead — and falls back
-    to serial when the build is too small to amortize pool startup.
+    to serial when the build is too small to amortize pool startup
+    (fewer than ``workers × 64`` samples).  Public so the bench harness
+    can tell a genuinely parallel run from a silent serial fallback and
+    size its sample count (or skip the parallel leg) accordingly,
+    instead of publishing a "speedup" that timed serial against serial.
     """
     workers = min(int(workers), available_cpus())
     if workers <= 1:
@@ -97,6 +106,10 @@ def _effective_workers(workers: int, num_samples: int) -> int:
     if num_samples < workers * _MIN_SAMPLES_PER_WORKER:
         return 1
     return workers
+
+
+# Backwards-compatible private alias (forced-pool tests monkeypatch here).
+_effective_workers = effective_workers
 
 
 def _init_worker(

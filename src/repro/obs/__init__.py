@@ -52,6 +52,7 @@ from repro.obs.state import (
     quiet,
     record_decision,
     record_span,
+    reinit_child,
     reset,
     set_quiet,
     slo_observe,
@@ -108,6 +109,7 @@ __all__ = [
     "quiet",
     "record_decision",
     "record_span",
+    "reinit_child",
     "replay_audit",
     "reset",
     "set_quiet",

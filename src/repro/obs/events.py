@@ -50,3 +50,12 @@ class JsonlSink:
                 self._handle.close()
             finally:
                 self._handle = None
+
+    def abandon(self) -> None:
+        """Drop the handle without flushing it (forked children).
+
+        A handle inherited across fork may hold buffered partial lines
+        the parent already owns; closing would flush them into the file
+        as duplicates, so the child just forgets the handle instead.
+        """
+        self._handle = None

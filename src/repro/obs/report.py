@@ -13,6 +13,13 @@ Reads a JSONL event stream produced by a ``REPRO_OBS=jsonl[:path]`` run
   over the runner-up accelerator,
 * the merged counter registry (summed across processes).
 
+Accepts any number of stream paths (or shell-style globs, quoted so the
+CLI expands them — ``repro-obs-report 'runs/obs-shard-*.jsonl'``); the
+streams are merged into one summary and, when more than one stream
+contributed, a per-stream breakdown table preserves each stream's
+identity (e.g. one row per shard worker of a ``repro-serve --shards``
+run).
+
 ``--prometheus`` instead emits the merged metrics as a Prometheus-style
 text snapshot.  Also installed as the ``repro-obs-report`` console
 script and wired to ``make obs-report``.
@@ -21,6 +28,7 @@ script and wired to ``make obs-report``.
 from __future__ import annotations
 
 import argparse
+import glob as globlib
 import json
 import sys
 from collections import Counter
@@ -32,8 +40,10 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.quality import replay_audit
 
 __all__ = [
+    "expand_streams",
     "load_events",
     "load_events_counted",
+    "load_streams",
     "merged_metrics",
     "build_report",
     "main",
@@ -64,6 +74,50 @@ def load_events_counted(path: Path) -> tuple[list[dict], int]:
 def load_events(path: Path) -> list[dict]:
     """Parse a JSONL stream, skipping blank or truncated lines."""
     return load_events_counted(path)[0]
+
+
+def expand_streams(patterns: Sequence[str]) -> list[Path]:
+    """Resolve stream arguments to concrete paths, in argument order.
+
+    Arguments containing glob metacharacters expand (sorted within each
+    pattern); literal paths pass through untouched so a missing literal
+    still produces the CLI's "no event stream" error rather than being
+    silently dropped.
+
+    Raises:
+        FileNotFoundError: for a glob pattern that matches nothing.
+    """
+    paths: list[Path] = []
+    for pattern in patterns:
+        if globlib.has_magic(pattern):
+            matches = sorted(globlib.glob(pattern))
+            if not matches:
+                raise FileNotFoundError(
+                    f"glob {pattern!r} matched no event streams"
+                )
+            paths.extend(Path(m) for m in matches)
+        else:
+            paths.append(Path(pattern))
+    return paths
+
+
+def load_streams(paths: Sequence[Path]) -> tuple[list[dict], int]:
+    """Merge several JSONL streams; events keep their stream identity.
+
+    Every event gains a ``_stream`` key (the source file's stem, e.g.
+    ``obs-shard-0``), which the per-stream breakdown section groups by.
+    Returns ``(events, total_corrupt_lines)``.
+    """
+    events: list[dict] = []
+    corrupt = 0
+    for path in paths:
+        stream_events, stream_corrupt = load_events_counted(path)
+        corrupt += stream_corrupt
+        label = path.stem
+        for event in stream_events:
+            event["_stream"] = label
+        events.extend(stream_events)
+    return events, corrupt
 
 
 def merged_metrics(events: Sequence[dict]) -> MetricsRegistry:
@@ -248,6 +302,53 @@ def _quality_section(events: Sequence[dict]) -> str:
     )
 
 
+def _streams_section(events: Sequence[dict]) -> str | None:
+    """Per-stream breakdown when several streams were merged.
+
+    One row per source stream (shard identity preserved for sharded
+    serving runs): event count, pids, span wall-clock, and that stream's
+    own decision-cache hit ratio.  ``None`` for single-stream reports —
+    the section only appears when there is something to break down.
+    """
+    by_stream: dict[str, list[dict]] = {}
+    for event in events:
+        stream = event.get("_stream")
+        if stream is None:
+            return None  # events not loaded via load_streams
+        by_stream.setdefault(stream, []).append(event)
+    if len(by_stream) <= 1:
+        return None
+    rows = []
+    for name, stream_events in sorted(by_stream.items()):
+        registry = merged_metrics(stream_events)
+        hits = _counter_total(registry, "serve.cache_hit")
+        misses = _counter_total(registry, "serve.cache_miss")
+        lookups = hits + misses
+        span_s = sum(
+            float(e["duration_s"])
+            for e in stream_events
+            if e.get("kind") == "span"
+        )
+        pids = {e.get("pid") for e in stream_events if "pid" in e}
+        rows.append(
+            [
+                name,
+                len(stream_events),
+                len(pids),
+                span_s,
+                f"{hits:g}/{lookups:g}" if lookups else "-",
+                f"{100.0 * hits / lookups:.1f}%" if lookups else "-",
+            ]
+        )
+    return (
+        f"per-stream breakdown ({len(by_stream)} streams merged):\n"
+        + _table(
+            ["stream", "events", "pids", "span_s", "cache_hits", "hit_rate"],
+            rows,
+        )
+    )
+
+
 def _counters_section(registry: MetricsRegistry) -> str:
     if not registry.counters:
         return "counters: none recorded"
@@ -275,11 +376,12 @@ def build_report(events: Sequence[dict], *, top: int = 10) -> str:
         _span_section(events, top),
         _cache_section(registry),
         _serve_section(registry),
+        _streams_section(events),
         _decision_section(events),
         _quality_section(events),
         _counters_section(registry),
     ]
-    return "\n\n".join(sections)
+    return "\n\n".join(s for s in sections if s is not None)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -289,9 +391,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "stream",
-        nargs="?",
-        default=DEFAULT_JSONL_PATH,
-        help=f"JSONL event stream path (default: {DEFAULT_JSONL_PATH})",
+        nargs="*",
+        default=[str(DEFAULT_JSONL_PATH)],
+        help="JSONL event stream path(s); quoted glob patterns expand "
+        "(e.g. 'runs/obs-shard-*.jsonl'); multiple streams merge into "
+        f"one summary (default: {DEFAULT_JSONL_PATH})",
     )
     parser.add_argument(
         "--top", type=int, default=10, help="span rows to show (default: 10)"
@@ -303,22 +407,29 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    path = Path(args.stream)
-    if not path.exists():
-        print(f"error: no event stream at {path}", file=sys.stderr)
+    try:
+        paths = expand_streams(args.stream)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no event stream at {path}", file=sys.stderr)
         print(
             "hint: run with REPRO_OBS=jsonl (or jsonl:<path>) to produce one",
             file=sys.stderr,
         )
         return 2
-    events, corrupt = load_events_counted(path)
+    events, corrupt = load_streams(paths)
     if args.prometheus:
         sys.stdout.write(merged_metrics(events).to_prometheus())
     else:
         print(build_report(events, top=args.top))
     if corrupt:
+        described = ", ".join(str(p) for p in paths)
         print(
-            f"error: {corrupt} truncated/corrupt JSONL line(s) in {path} "
+            f"error: {corrupt} truncated/corrupt JSONL line(s) in {described} "
             "were skipped (writer killed mid-line?); report covers the "
             f"{len(events)} intact events only",
             file=sys.stderr,

@@ -38,6 +38,7 @@ __all__ = [
     "ObsState",
     "state",
     "configure",
+    "reinit_child",
     "reset",
     "enabled",
     "quiet",
@@ -133,6 +134,24 @@ def configure(
 def reset() -> ObsState:
     """Rebuild state from the current environment."""
     return configure(None)
+
+
+def reinit_child() -> ObsState:
+    """Rebuild state in a freshly forked/spawned worker process.
+
+    A forked child inherits the parent's singleton — including its
+    buffered metrics and an open JSONL sink pointed at the parent's
+    file.  Flushing that inherited state would double-count the parent's
+    events, so it is *discarded* (marked flushed without writing) and a
+    new state is built from the child's environment.  Shard workers set
+    their per-shard ``REPRO_OBS`` stream before calling this.
+    """
+    global _state
+    _state._flushed = True  # drop inherited buffers: the parent owns them
+    if _state.sink is not None:
+        _state.sink.abandon()
+    _state = ObsState(config_from_env())
+    return _state
 
 
 def enabled() -> bool:

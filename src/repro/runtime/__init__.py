@@ -14,6 +14,14 @@ from repro.runtime.server import (
     ServerStats,
     low_latency_gc,
 )
+from repro.runtime.shard import (
+    HashRing,
+    RouterConfig,
+    ShardReport,
+    ShardRouter,
+    ShardSnapshot,
+    ShardSpec,
+)
 from repro.runtime.serving import (
     CachedDecision,
     CacheStats,
@@ -33,10 +41,16 @@ __all__ = [
     "CacheStats",
     "DecisionCache",
     "DecisionServer",
+    "HashRing",
     "OpenLoopReport",
+    "RouterConfig",
     "ServerConfig",
     "ServerOverloadedError",
     "ServerStats",
+    "ShardReport",
+    "ShardRouter",
+    "ShardSnapshot",
+    "ShardSpec",
     "StreamingRunResult",
     "Workload",
     "cache_dir",

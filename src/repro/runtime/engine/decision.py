@@ -62,6 +62,12 @@ from repro.runtime.serving import (
 
 __all__ = ["DecisionService", "select_chosen", "select_runner_up"]
 
+#: Decimal places shape-dependent predictions are rounded to before
+#: decoding.  Targets are clipped to [0, 1], so their ULP is ≤ 2e-16;
+#: a 1e-9 grid sits ~1e6 ULPs above the BLAS batch-shape noise while
+#: staying far below any knob's meaningful resolution.
+_CANONICAL_DECIMALS = 9
+
 
 def select_chosen(
     estimates: Sequence[DeviceEstimate],
@@ -248,6 +254,17 @@ class DecisionService:
                 batch=len(miss_rows),
             ):
                 vectors = self.predictor.predict_batch(miss_features)
+            if not self.predictor.batch_shape_independent:
+                # Matrix models round a few ULP differently depending on
+                # batch shape (BLAS GEMV vs blocked GEMM), so the same
+                # row predicted alone vs inside a batch would decode to
+                # configs that differ in their continuous knobs.
+                # Quantizing ~1e6 ULPs above the noise makes every
+                # decision a pure function of its feature row — the
+                # invariant the decision cache, the async server's flush
+                # batching, and the shard router's bit-identity gate all
+                # rely on.
+                vectors = np.round(vectors, _CANONICAL_DECIMALS)
             decoded = decode_config_batch(vectors, self.gpu, self.multicore)
             for row, (spec, config), vector in zip(miss_rows, decoded, vectors):
                 entry = CachedDecision(

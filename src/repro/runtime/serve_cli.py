@@ -8,12 +8,19 @@ queue-wait tails.  Optionally writes a JSONL artifact (summary + latency
 histograms) and enforces absolute tail-latency / throughput gates for CI
 smoke runs (exit code 3 on violation).
 
+With ``--shards N`` the same trace is served through a
+:class:`~repro.runtime.shard.ShardRouter` instead: N worker processes,
+each training its own HeteroMap and serving consistent-hash-routed flush
+blocks (plan mode only).  The artifact then carries one ``shard`` line
+per worker with its cache hit rate and per-device plan counts.
+
 Examples::
 
     repro-serve --rate 120000 --duration 2
     repro-serve --trace onoff --rate 400000 --queue-capacity 1024
     repro-serve --rate 50000 --gate-min-rate 20000 --gate-p99-ms 250 \\
         --output serve_latency.jsonl
+    repro-serve --shards 4 --rate 100000 --duration 2
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from repro.runtime.loadgen import (
     run_open_loop,
 )
 from repro.runtime.server import DecisionServer, ServerConfig, low_latency_gc
+from repro.runtime.shard import RouterConfig, ShardReport, ShardRouter, ShardSpec
 
 __all__ = ["DEFAULT_POOL", "main"]
 
@@ -70,7 +78,11 @@ def _histogram_line(kind: str, samples: list[float]) -> dict:
 
 
 def _write_artifact(
-    path: Path, report: OpenLoopReport, server: DecisionServer, args
+    path: Path,
+    report: OpenLoopReport,
+    server: "DecisionServer | ShardRouter",
+    args,
+    shard_report: ShardReport | None = None,
 ) -> None:
     lines = [
         {
@@ -85,6 +97,7 @@ def _write_artifact(
             "mode": args.mode,
             "predictor": args.predictor,
             "seed": args.seed,
+            "shards": args.shards,
         },
         _histogram_line("decision_latency_ms", server.stats.latencies_ms),
         _histogram_line("queue_wait_ms", server.stats.queue_waits_ms),
@@ -97,6 +110,36 @@ def _write_artifact(
         )
         line["tenant"] = tenant
         lines.append(line)
+    if shard_report is not None:
+        # One line per shard, labeled — the rollup the ISSUE's
+        # cross-shard report asks for — plus the fleet-wide totals.
+        for snap in shard_report.shards:
+            lines.append(
+                {
+                    "kind": "shard",
+                    "shard": snap.shard,
+                    "active": snap.active,
+                    "completed": snap.completed,
+                    "flushes": snap.flushes,
+                    "unique_rows": snap.unique_rows,
+                    "mean_batch": snap.mean_batch,
+                    "cache_hits": snap.cache_hits,
+                    "cache_misses": snap.cache_misses,
+                    "cache_hit_rate": snap.cache_hit_rate,
+                    "device_counts": snap.device_counts,
+                }
+            )
+        lines.append(
+            {
+                "kind": "shard_total",
+                "shards": len(shard_report.shards),
+                "completed": shard_report.completed,
+                "flushes": shard_report.flushes,
+                "unique_rows": shard_report.unique_rows,
+                "cache_hit_rate": shard_report.cache_hit_rate,
+                "device_counts": shard_report.device_counts,
+            }
+        )
     if obs.enabled():
         state = obs.state()
         if state.quality is not None:
@@ -170,6 +213,12 @@ def main(argv: list[str] | None = None) -> int:
         help="what each request resolves to (default: plan)",
     )
     parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="serve through N shard worker processes behind a "
+        "consistent-hash router (plan mode only; default: 0 = single "
+        "process)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0,
         help="seed for training and the arrival trace (default: 0)",
     )
@@ -224,11 +273,11 @@ def main(argv: list[str] | None = None) -> int:
         exposition = obs.start_exposition(port=args.obs_port)
         log.info("obs_http", url=exposition.url)
 
-    hetero = HeteroMap(
-        (args.pair[0], args.pair[1]), predictor=args.predictor, seed=args.seed
-    )
-    with obs.span("serve.train", predictor=args.predictor):
-        hetero.train(num_samples=args.train_samples, seed=args.seed)
+    if args.shards < 0:
+        parser.error("--shards must be >= 0")
+    if args.shards and args.mode != "plan":
+        parser.error("--shards only supports --mode plan")
+
     pool = [prepare_workload(b, d) for b, d in DEFAULT_POOL]
 
     if args.trace == "poisson":
@@ -241,17 +290,46 @@ def main(argv: list[str] | None = None) -> int:
             duty=args.burst_duty,
             seed=args.seed,
         )
-    server = DecisionServer(
-        hetero.decisions,
-        ServerConfig(
-            max_batch=args.max_batch,
-            flush_deadline_ms=args.flush_deadline_ms,
-            queue_capacity=args.queue_capacity,
-            mode=args.mode,
-        ),
-        backend=hetero.engine.backend,
-        scheduler=hetero.scheduler,
-    )
+    shard_report: ShardReport | None = None
+    if args.shards:
+        # Sharded path: training happens inside every worker (same
+        # spec + seed, so decisions stay bit-identical across shards
+        # and to the single-process path).
+        server: "DecisionServer | ShardRouter" = ShardRouter(
+            ShardSpec(
+                fleet=(args.pair[0], args.pair[1]),
+                predictor=args.predictor,
+                train_samples=args.train_samples,
+                seed=args.seed,
+            ),
+            RouterConfig(
+                shards=args.shards,
+                max_batch=args.max_batch,
+                flush_deadline_ms=args.flush_deadline_ms,
+                queue_capacity=args.queue_capacity,
+            ),
+        )
+        with obs.span("serve.launch_shards", shards=args.shards):
+            server.launch()
+    else:
+        hetero = HeteroMap(
+            (args.pair[0], args.pair[1]),
+            predictor=args.predictor,
+            seed=args.seed,
+        )
+        with obs.span("serve.train", predictor=args.predictor):
+            hetero.train(num_samples=args.train_samples, seed=args.seed)
+        server = DecisionServer(
+            hetero.decisions,
+            ServerConfig(
+                max_batch=args.max_batch,
+                flush_deadline_ms=args.flush_deadline_ms,
+                queue_capacity=args.queue_capacity,
+                mode=args.mode,
+            ),
+            backend=hetero.engine.backend,
+            scheduler=hetero.scheduler,
+        )
     tenants = [f"tenant-{i}" for i in range(max(1, args.tenants))]
 
     async def drive() -> OpenLoopReport:
@@ -265,6 +343,10 @@ def main(argv: list[str] | None = None) -> int:
     with obs.span("serve.open_loop", trace=args.trace, offered=len(arrivals)):
         with low_latency_gc():
             report = asyncio.run(drive())
+    if args.shards:
+        shard_report = server.close()  # idempotent: __aexit__ already closed
+        for text in shard_report.lines():
+            log.info("shard", detail=text)
 
     log.info(
         "open_loop",
@@ -283,7 +365,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.output:
         path = Path(args.output)
-        _write_artifact(path, report, server, args)
+        _write_artifact(path, report, server, args, shard_report)
         log.info("artifact", path=str(path))
 
     failed = []

@@ -1,0 +1,62 @@
+"""obs.reinit_child: rebuilding obs state in a forked shard worker.
+
+A forked worker inherits the parent's obs singleton — buffered metrics
+and an open JSONL sink pointed at the parent's stream.  ``reinit_child``
+must discard that inherited state (never double-count it into the
+parent's file) and rebuild from the worker's own environment, which the
+shard router points at a per-shard stream.
+"""
+
+from __future__ import annotations
+
+import json
+
+import repro.obs as obs
+
+
+def _read(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestReinitChild:
+    def test_rebuilds_from_env(self, tmp_path, monkeypatch):
+        parent_path = tmp_path / "parent.jsonl"
+        child_path = tmp_path / "child.jsonl"
+        obs.configure(obs.ObsConfig(enabled=True, jsonl_path=parent_path))
+        with obs.span("parent.work"):
+            pass
+        monkeypatch.setenv(obs.ENV_VAR, f"jsonl:{child_path}")
+        state = obs.reinit_child()
+        assert state.enabled
+        with obs.span("child.work"):
+            pass
+        obs.flush()
+        parent_kinds = [e["name"] for e in _read(parent_path) if "name" in e]
+        child_kinds = [e["name"] for e in _read(child_path) if "name" in e]
+        assert "parent.work" in parent_kinds
+        assert "child.work" not in parent_kinds
+        assert child_kinds.count("child.work") == 1
+        # The inherited metrics buffer was discarded, not re-flushed:
+        # the parent's span never leaks into the child's stream.
+        assert "parent.work" not in child_kinds
+
+    def test_inherited_counters_not_double_flushed(self, tmp_path, monkeypatch):
+        parent_path = tmp_path / "parent.jsonl"
+        obs.configure(obs.ObsConfig(enabled=True, jsonl_path=parent_path))
+        obs.counter("some.counter", 5)
+        monkeypatch.setenv(obs.ENV_VAR, "")
+        state = obs.reinit_child()
+        assert not state.enabled
+        obs.flush()  # a no-op: the inherited buffer was marked flushed
+        # The sink opens lazily, so with the buffer discarded the
+        # parent's stream was never even created from this process.
+        assert not parent_path.exists()
+
+    def test_disabled_parent_is_fine(self, monkeypatch):
+        obs.configure(obs.ObsConfig(enabled=False))
+        monkeypatch.setenv(obs.ENV_VAR, "")
+        assert not obs.reinit_child().enabled

@@ -4,11 +4,15 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 import repro.obs as obs
 from repro.obs.report import (
     build_report,
+    expand_streams,
     load_events,
     load_events_counted,
+    load_streams,
     main,
     merged_metrics,
 )
@@ -132,6 +136,74 @@ class TestMergedMetrics:
     def test_counters_sum_across_snapshots(self):
         registry = merged_metrics(_demo_events())
         assert registry.counter_value("trace_cache.hit", tier="disk") == 6.0
+
+
+class TestMultiStream:
+    """Merging per-shard JSONL streams with identity preserved."""
+
+    def _write_shard_streams(self, tmp_path, count=3):
+        paths = []
+        for shard in range(count):
+            path = tmp_path / f"obs-shard-{shard}.jsonl"
+            _write_stream(path, _demo_events())
+            paths.append(path)
+        return paths
+
+    def test_expand_streams_glob(self, tmp_path):
+        paths = self._write_shard_streams(tmp_path)
+        expanded = expand_streams([str(tmp_path / "obs-shard-*.jsonl")])
+        assert expanded == sorted(paths)
+
+    def test_expand_streams_literal_passthrough(self, tmp_path):
+        missing = tmp_path / "absent.jsonl"
+        # A missing literal survives so the CLI can point at it by name.
+        assert expand_streams([str(missing)]) == [missing]
+
+    def test_expand_streams_empty_glob_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            expand_streams([str(tmp_path / "nope-*.jsonl")])
+
+    def test_load_streams_tags_stream_identity(self, tmp_path):
+        paths = self._write_shard_streams(tmp_path, count=2)
+        events, corrupt = load_streams(paths)
+        assert corrupt == 0
+        assert len(events) == 2 * len(_demo_events())
+        assert {e["_stream"] for e in events} == {"obs-shard-0", "obs-shard-1"}
+
+    def test_per_stream_section_renders(self, tmp_path):
+        paths = self._write_shard_streams(tmp_path)
+        events, _ = load_streams(paths)
+        report = build_report(events)
+        assert "per-stream breakdown (3 streams merged)" in report
+        for shard in range(3):
+            assert f"obs-shard-{shard}" in report
+        # Metrics still merge across every stream for the global rollup.
+        assert "trace cache: 18 hits / 6 misses" in report
+
+    def test_single_stream_has_no_breakdown(self, tmp_path):
+        (path,) = self._write_shard_streams(tmp_path, count=1)
+        events, _ = load_streams([path])
+        assert "per-stream breakdown" not in build_report(events)
+
+    def test_cli_merges_multiple_paths(self, tmp_path, capsys):
+        paths = self._write_shard_streams(tmp_path, count=2)
+        assert main([str(p) for p in paths]) == 0
+        out = capsys.readouterr().out
+        assert "per-stream breakdown (2 streams merged)" in out
+
+    def test_cli_accepts_glob(self, tmp_path, capsys):
+        self._write_shard_streams(tmp_path, count=2)
+        assert main([str(tmp_path / "obs-shard-*.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "obs-shard-0" in out and "obs-shard-1" in out
+
+    def test_cli_corrupt_in_one_stream_names_it(self, tmp_path, capsys):
+        good, bad = self._write_shard_streams(tmp_path, count=2)
+        with open(bad, "a") as handle:
+            handle.write('{"kind": "span", "name": "torn.mid.wri')
+        assert main([str(good), str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "1 truncated/corrupt JSONL line(s)" in err
 
 
 class TestCli:
