@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test bench bench-force bench-serve bench-scheduler bench-fleet \
-	bench-serving bench-shard serve fuzz fuzz-deep obs-report
+	bench-serving bench-shard bench-adapt serve fuzz fuzz-deep obs-report
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -51,6 +51,12 @@ bench-serving:
 # CPUs the shards=4 headline must clear the 2x floor to record.
 bench-shard:
 	$(PYTHON) benchmarks/bench_sweep.py --sections shard_scaling
+
+# Only the adaptation-loop section: a drift-injected stream served by a
+# frozen vs an online-adapting map; the adaptive path must promote a
+# retrained candidate and beat the frozen tail regret by the 1.5x floor.
+bench-adapt:
+	$(PYTHON) benchmarks/bench_sweep.py --sections adaptation_loop
 
 # Drive the async serving front end directly (see repro-serve --help for
 # trace shape, batching knobs, gates, and the JSONL artifact).

@@ -24,7 +24,11 @@ Measures the hot paths the batch evaluator exists for and records them to
 * shard scaling — the consistent-hash shard router at shards=2/4:
   aggregate decisions/sec vs the single-process closed loop, with
   bit-identity, zero-drop, and shard-local-repeat-key invariants
-  enforced (the ≥2x shards=4 floor gates on hosts with enough CPUs).
+  enforced (the ≥2x shards=4 floor gates on hosts with enough CPUs),
+* adaptation loop — a drift-injected stream served by a frozen vs an
+  online-adapting CART map: tail-window regret against the bench-known
+  ground truth, with the promotion requirement and the regret
+  improvement ratio enforced (≥1.5x floor, baseline or not).
 
 The harness refuses to overwrite an existing baseline with a >25%
 regression on any tracked throughput metric unless ``--force`` is passed,
@@ -82,6 +86,7 @@ SECTION_NAMES = (
     "fleet_scaling",
     "serving_async",
     "shard_scaling",
+    "adaptation_loop",
 )
 
 #: Synthetic fleet sizes the scaling bench sweeps.
@@ -94,6 +99,17 @@ SHARD_SIZES = (2, 4)
 #: closed-loop baseline by at least this factor — enforced only when the
 #: host has enough usable CPUs for the comparison to mean anything.
 SHARD_SPEEDUP_FLOOR = 2.0
+
+#: The adaptive path's tail-window regret must beat the frozen
+#: incumbent's by at least this factor under the injected drift —
+#: enforced baseline or not (the loop either recovers the regret or the
+#: section fails).
+ADAPT_REGRET_FLOOR = 1.5
+
+#: Workload mix the adaptation bench streams (kind-diverse, so a
+#: GPU-kind perturbation actually flips decisions mid-stream).
+_ADAPT_BENCHES = ("bfs", "pagerank", "sssp_bf", "triangle_counting")
+_ADAPT_DATASETS = ("usa-cal", "livejournal", "twitter", "facebook", "cage14")
 
 #: Predictors the serving bench times: the deep128 flagship plus both
 #: tree baselines (analytical + learned CART).
@@ -114,6 +130,7 @@ _GATED_METRICS = (
     ("fleet_scaling", "n4_decisions_per_sec"),
     ("serving_async", "poisson_decisions_per_sec"),
     ("shard_scaling", "n4_decisions_per_sec"),
+    ("adaptation_loop", "regret_improvement_ratio"),
 )
 
 # Lower-is-better metrics the gate tracks (tail latency): refused when the
@@ -764,6 +781,150 @@ def bench_shard_scaling(
     return results
 
 
+def bench_adaptation_loop(
+    pair: tuple[str, str],
+    *,
+    train_samples: int = 120,
+    requests: int = 240,
+    drift_factor: float = 4.0,
+    seed: int = 0,
+) -> dict:
+    """Benchmark the online-adaptation loop against a frozen incumbent.
+
+    Two identically trained CART maps serve the same seeded workload
+    stream through a :class:`~repro.core.online.DriftInjectedBackend`
+    that scales the GPU kind's executed times by ``drift_factor`` after
+    the first third of the stream.  One map runs frozen; the other has
+    :meth:`~repro.core.heteromap.HeteroMap.enable_adaptation` — its
+    drift detector should alarm, shadow-retrain, and promote a corrected
+    candidate mid-stream.
+
+    Regret is scored against the bench's *known* ground truth: the
+    decision layer's simulate-only per-device estimates, scaled by the
+    injected factor wherever the perturbation was active — exactly what
+    the audit stream's counterfactual replays to.  The headline is the
+    tail-window (last third) regret ratio ``frozen / adaptive``: how
+    much of the drift-induced regret the closed loop recovered.
+
+    Raises:
+        RuntimeError: when the adaptive path never promotes, or when its
+            tail regret fails to beat the frozen incumbent's.
+    """
+    import random
+
+    from repro.core.heteromap import HeteroMap
+    from repro.core.online import AdaptationConfig, DriftInjectedBackend
+
+    start_after = requests // 3
+    tail_start = requests - requests // 3
+    rng = random.Random(seed)
+    stream = [
+        (rng.choice(_ADAPT_BENCHES), rng.choice(_ADAPT_DATASETS))
+        for _ in range(requests)
+    ]
+    workloads = {
+        item: prepare_workload(*item) for item in sorted(set(stream))
+    }
+
+    def run_variant(adapt: bool) -> dict:
+        hetero = HeteroMap(pair, predictor="cart", seed=seed)
+        hetero.train(num_samples=train_samples, seed=seed)
+        backend = DriftInjectedBackend(
+            hetero.engine.backend,
+            factor=drift_factor,
+            start_after=start_after,
+            kind="gpu",
+        )
+        hetero.engine.backend = backend
+        adapter = None
+        if adapt:
+            adapter = hetero.enable_adaptation(
+                AdaptationConfig(
+                    cooldown=32,
+                    shadow_window=24,
+                    min_buffer=8,
+                    drift_min_samples=8,
+                )
+            )
+        tail_regret = 0.0
+        total_regret = 0.0
+        start = time.perf_counter()
+        for index, item in enumerate(stream):
+            workload = workloads[item]
+            decision = hetero.decisions.decide(workload)
+            result = backend.execute(
+                workload, decision.spec, decision.config
+            )
+            hetero.decisions.audit(
+                decision, decision.spec, decision.config, result
+            )
+            # Bench-known truth: the estimate vector with the injected
+            # perturbation applied to the affected kind.
+            drifting = backend.executions > start_after
+            true_costs = [
+                estimate.time_ms
+                * (drift_factor if drifting and estimate.spec.is_gpu else 1.0)
+                for estimate in decision.estimates
+            ]
+            regret = result.time_ms - min(true_costs)
+            total_regret += regret
+            if index >= tail_start:
+                tail_regret += regret
+        elapsed = time.perf_counter() - start
+        out = {
+            "tail_regret_ms": tail_regret,
+            "total_regret_ms": total_regret,
+            "requests_per_sec": requests / elapsed,
+        }
+        if adapter is not None:
+            out["adapter"] = adapter.summary()
+        return out
+
+    frozen = run_variant(adapt=False)
+    adaptive = run_variant(adapt=True)
+    summary = adaptive["adapter"]
+    if summary["promotions"] < 1:
+        raise RuntimeError(
+            "adaptation_loop: the adaptive path never promoted a candidate "
+            f"(alarms={summary['drift_alarms']}, retrains={summary['retrains']}, "
+            f"shadow={summary['shadow_evaluations']})"
+        )
+    if adaptive["tail_regret_ms"] >= frozen["tail_regret_ms"]:
+        raise RuntimeError(
+            "adaptation_loop: adaptive tail regret "
+            f"{adaptive['tail_regret_ms']:.1f}ms did not beat the frozen "
+            f"incumbent's {frozen['tail_regret_ms']:.1f}ms"
+        )
+    ratio = (
+        frozen["tail_regret_ms"] / adaptive["tail_regret_ms"]
+        if adaptive["tail_regret_ms"] > 0
+        else float(requests)  # adaptive tail is regret-free: cap the ratio
+    )
+    return {
+        "pair": list(pair),
+        "predictor": "cart",
+        "train_samples": train_samples,
+        "requests": requests,
+        "drift_factor": drift_factor,
+        "drift_start_after": start_after,
+        "tail_window": requests // 3,
+        "frozen_tail_regret_ms": frozen["tail_regret_ms"],
+        "adaptive_tail_regret_ms": adaptive["tail_regret_ms"],
+        "frozen_total_regret_ms": frozen["total_regret_ms"],
+        "adaptive_total_regret_ms": adaptive["total_regret_ms"],
+        "regret_improvement_ratio": ratio,
+        "frozen_requests_per_sec": frozen["requests_per_sec"],
+        "adaptive_requests_per_sec": adaptive["requests_per_sec"],
+        "drift_alarms": summary["drift_alarms"],
+        "retrains": summary["retrains"],
+        "shadow_evaluations": summary["shadow_evaluations"],
+        "promotions": summary["promotions"],
+        "discards": summary["discards"],
+        "generation": summary["generation"],
+        "ratios": summary["ratios"],
+    }
+
+
 def _timed(fn) -> float:
     start = time.perf_counter()
     fn()
@@ -823,6 +984,8 @@ def run_bench(
             probe_s=min(0.3, serve_duration),
             seed=seed,
         )
+    if "adaptation_loop" in sections:
+        payload["adaptation_loop"] = bench_adaptation_loop(pair, seed=seed)
     return payload
 
 
@@ -869,6 +1032,13 @@ def check_regressions(old: dict, new: dict) -> list[str]:
         regressions.append(
             f"shard_scaling.n{headline}_speedup_vs_single: {speedup:.2f} "
             f"< floor {SHARD_SPEEDUP_FLOOR:.1f}x over the single process"
+        )
+    adapt = new.get("adaptation_loop") or {}
+    ratio = adapt.get("regret_improvement_ratio")
+    if ratio is not None and ratio < ADAPT_REGRET_FLOOR:
+        regressions.append(
+            f"adaptation_loop.regret_improvement_ratio: {ratio:.2f} "
+            f"< floor {ADAPT_REGRET_FLOOR:.1f}x over the frozen incumbent"
         )
     return regressions
 
@@ -1054,6 +1224,20 @@ def main(argv: list[str] | None = None) -> int:
                 cache_hit_rate=round(shard[f"n{size}_cache_hit_rate"], 3),
                 cpu_limited=shard["cpu_limited"],
             )
+
+    if "adaptation_loop" in payload:
+        adapt = payload["adaptation_loop"]
+        log.info(
+            "adaptation_loop",
+            requests=adapt["requests"],
+            drift_factor=adapt["drift_factor"],
+            frozen_tail_regret_ms=round(adapt["frozen_tail_regret_ms"], 1),
+            adaptive_tail_regret_ms=round(adapt["adaptive_tail_regret_ms"], 1),
+            improvement=round(adapt["regret_improvement_ratio"], 2),
+            promotions=adapt["promotions"],
+            retrains=adapt["retrains"],
+            generation=adapt["generation"],
+        )
 
     output = Path(args.output)
     old = {}

@@ -31,7 +31,7 @@ the GPU-only / multicore-only / manually-tuned comparisons of Section VII.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro import obs
 from repro.accel.simulator import SimulationResult
@@ -60,6 +60,14 @@ from repro.runtime.engine import (
 )
 from repro.runtime.serving import DecisionCache, capacity_from_env
 from repro.tuning.exhaustive import best_on_accelerator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.core.online import (
+        AdaptationConfig,
+        ExplorationConfig,
+        ExplorationPolicy,
+        OnlineAdapter,
+    )
 
 __all__ = ["HeteroMap", "RunOutcome"]
 
@@ -196,6 +204,65 @@ class HeteroMap:
             raise NotTrainedError("call train() before querying overhead")
         return self.decisions.overhead_ms
 
+    # -- online adaptation --------------------------------------------------
+
+    def enable_exploration(
+        self, config: "ExplorationConfig | None" = None, *, seed: int | None = None
+    ) -> "ExplorationPolicy":
+        """Attach a low-confidence exploration policy to the plan tier.
+
+        Rows whose prediction confidence falls below the configured
+        threshold earn (seeded-epsilon, budget-capped) simulate-only
+        probes on every fleet device, recorded as ``explored`` audit
+        records.  Served plans never change; with the policy detached the
+        path is bit-identical to plain :meth:`plan_batch`.
+        """
+        from repro.core.online import ExplorationPolicy
+
+        policy = ExplorationPolicy(
+            config, seed=self.seed if seed is None else seed
+        )
+        self.decisions.exploration = policy
+        self.decisions.track_confidence = True
+        return policy
+
+    def enable_adaptation(
+        self, config: "AdaptationConfig | None" = None
+    ) -> "OnlineAdapter":
+        """Close the loop: observe outcomes, retrain on drift, promote.
+
+        Attaches an :class:`~repro.core.online.OnlineAdapter` that folds
+        every executed placement into per-device correction ratios and a
+        bounded retraining buffer, fits a candidate predictor when its
+        Page–Hinkley detector alarms, shadow-scores it behind the
+        incumbent, and promotes through
+        :meth:`~repro.runtime.engine.decision.DecisionService.swap_predictor`
+        (generation-bumped cache keys make the swap atomic).  Candidates
+        are fresh ``make_predictor`` instances of this map's family, fit
+        on the offline database plus the replicated correction buffer.
+
+        Raises:
+            NotTrainedError: before :meth:`train` (the adapter refits
+                from the offline database's matrices).
+        """
+        from repro.core.online import OnlineAdapter
+
+        self.decisions.require_trained()
+        base_matrices = None
+        if self.database is not None and len(self.database) > 0:
+            base_matrices = self.database.matrices()
+        adapter = OnlineAdapter(
+            self.decisions,
+            make_candidate=lambda: make_predictor(
+                self.predictor_name, self.gpu, self.multicore, seed=self.seed
+            ),
+            base_matrices=base_matrices,
+            config=config,
+        )
+        self.decisions.adapter = adapter
+        self.decisions.track_confidence = True
+        return adapter
+
     # -- online -----------------------------------------------------------
 
     def predict(self, workload: Workload) -> tuple[AcceleratorSpec, MachineConfig]:
@@ -229,10 +296,11 @@ class HeteroMap:
                 workload, decision.spec, decision.config
             )
             span.set(chosen=decision.spec.name)
-            if obs.enabled():
-                self.decisions.audit(
-                    decision, decision.spec, decision.config, result
-                )
+            # Unconditional: with obs off this only feeds the online
+            # adapter (when attached), otherwise it is a cheap branch.
+            self.decisions.audit(
+                decision, decision.spec, decision.config, result
+            )
         return RunOutcome.from_execution(
             workload, decision.spec, decision.config, result, overhead_ms
         )

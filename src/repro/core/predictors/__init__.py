@@ -3,6 +3,7 @@
 from repro.core.predictors.adaptive import AdaptiveLibraryPredictor
 from repro.core.predictors.analytical import AnalyticalTreePredictor
 from repro.core.predictors.base import LearnedPredictor, Predictor
+from repro.core.predictors.confidence import ConfidenceReport, squash_uncertainty
 from repro.core.predictors.linear import LinearPredictor
 from repro.core.predictors.neural import DEEP_SIZES, DeepPredictor
 from repro.core.predictors.polynomial import PolynomialPredictor
@@ -12,6 +13,7 @@ __all__ = [
     "AdaptiveLibraryPredictor",
     "AnalyticalTreePredictor",
     "CartPredictor",
+    "ConfidenceReport",
     "DEEP_SIZES",
     "DeepPredictor",
     "LearnedPredictor",
@@ -19,6 +21,7 @@ __all__ = [
     "PolynomialPredictor",
     "make_predictor",
     "predictor_names",
+    "squash_uncertainty",
 ]
 
 

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.encoding import NUM_TARGETS
 from repro.core.predictors.base import LearnedPredictor
+from repro.core.predictors.confidence import ConfidenceReport
 
 __all__ = ["AdaptiveLibraryPredictor"]
 
@@ -37,10 +38,16 @@ class AdaptiveLibraryPredictor(LearnedPredictor):
 
     name = "adaptive_library"
 
+    #: Coverage distance at which confidence crosses 0.5.  Fixed (not
+    #: data-dependent) so confidence is monotone non-decreasing under a
+    #: training superset — the ``calibration`` fuzz property.
+    CONFIDENCE_SCALE = 0.25
+
     def __init__(self) -> None:
         super().__init__()
         self._coef: np.ndarray | None = None
         self._default_targets: np.ndarray | None = None
+        self._train_summary: np.ndarray | None = None
 
     def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
         summary = _library_features(features)
@@ -50,6 +57,9 @@ class AdaptiveLibraryPredictor(LearnedPredictor):
         accel = targets[:, 0:1]
         self._coef, *_ = np.linalg.lstsq(summary, accel, rcond=None)
         self._default_targets = targets.mean(axis=0)
+        # Training coverage table for confidence: the (data movement,
+        # utilization) points the model has actually seen.
+        self._train_summary = summary[:, :2].copy()
 
     def _predict(self, features: np.ndarray) -> np.ndarray:
         assert self._coef is not None and self._default_targets is not None
@@ -61,3 +71,19 @@ class AdaptiveLibraryPredictor(LearnedPredictor):
         out[:, 1] = 1.0  # all cores
         out[:, 8] = 1.0  # all global threads
         return out
+
+    def _confidence(self, features: np.ndarray) -> ConfidenceReport:
+        """Table-coverage confidence: distance to the nearest seen point.
+
+        Uncertainty is the minimum Euclidean distance from a row's (data
+        movement, utilization) summary to any training row's.  Adding
+        training rows can only shrink that minimum, so confidence is
+        monotone non-decreasing under a training superset.
+        """
+        assert self._train_summary is not None
+        summary = _library_features(features)[:, :2]
+        diff = summary[:, None, :] - self._train_summary[None, :, :]
+        distance = np.sqrt((diff**2).sum(axis=2)).min(axis=1)
+        return ConfidenceReport.from_uncertainty(
+            distance, scale=self.CONFIDENCE_SCALE, source="table-coverage"
+        )

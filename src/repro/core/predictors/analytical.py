@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.decision_tree import decision_tree_predict
 from repro.core.encoding import encode_config
 from repro.core.predictors.base import Predictor, _validate_batch
+from repro.core.predictors.confidence import ConfidenceReport
 from repro.features.bvars import BVariables
 from repro.features.ivars import IVariables
 from repro.machine.mvars import MachineConfig
@@ -38,6 +39,17 @@ class AnalyticalTreePredictor(Predictor):
 
     def fit(self, features: np.ndarray, targets: np.ndarray) -> None:
         """No-op: the analytical model is not trained."""
+
+    def confidence_batch(self, features: np.ndarray) -> ConfidenceReport:
+        """Exact by construction: the model *is* the Section IV rules.
+
+        There is no estimation error to report — every prediction follows
+        deterministically from the hand-built tree — so confidence is 1.0
+        (which also means the analytical predictor never triggers the
+        exploration path).
+        """
+        features = _validate_batch(features)
+        return ConfidenceReport.exact(features.shape[0])
 
     def predict_vector(self, features: np.ndarray) -> np.ndarray:
         features = np.asarray(features, dtype=np.float64)

@@ -15,6 +15,7 @@ import abc
 import numpy as np
 
 from repro.core.encoding import NUM_FEATURES, decode_config, encode_features
+from repro.core.predictors.confidence import ConfidenceReport
 from repro.errors import NotTrainedError, TrainingError
 from repro.features.bvars import BVariables
 from repro.features.ivars import IVariables
@@ -77,6 +78,30 @@ class Predictor(abc.ABC):
         if features.shape[0] == 0:
             return np.empty((0, 0), dtype=np.float64)
         return np.vstack([self.predict_vector(row) for row in features])
+
+    def confidence_batch(self, features: np.ndarray) -> ConfidenceReport:
+        """Per-row confidence for a batch, from the family-native signal.
+
+        The base default is the constant "uncalibrated" 0.5 report so
+        every predictor satisfies the protocol; families override it
+        with ensemble spread, leaf statistics, residual bands, coverage
+        distance, or exactness-by-construction.  Implementations must be
+        pure side computations: calling this never changes what
+        :meth:`predict_batch` returns for the same rows.
+        """
+        features = _validate_batch(features)
+        return ConfidenceReport.uncalibrated(features.shape[0])
+
+    def predict_with_confidence(
+        self, features: np.ndarray
+    ) -> tuple[np.ndarray, ConfidenceReport]:
+        """Predict a batch and report per-row confidence alongside it.
+
+        The vectors are exactly ``predict_batch(features)`` — confidence
+        is a companion signal, never a perturbation — so callers that
+        ignore the report decide bit-identically to the plain path.
+        """
+        return self.predict_batch(features), self.confidence_batch(features)
 
     def predict_config(
         self,
@@ -151,3 +176,15 @@ class LearnedPredictor(Predictor):
         if features.shape[0] == 0:
             return np.empty((0, 0), dtype=np.float64)
         return np.clip(self._predict(features), 0.0, 1.0)
+
+    def confidence_batch(self, features: np.ndarray) -> ConfidenceReport:
+        if not self._trained:
+            raise NotTrainedError(
+                f"{self.name or type(self).__name__} queried before fit()"
+            )
+        features = _validate_batch(features)
+        return self._confidence(features)
+
+    def _confidence(self, features: np.ndarray) -> ConfidenceReport:
+        """Subclass hook: family-native confidence for validated rows."""
+        return ConfidenceReport.uncalibrated(features.shape[0])

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.encoding import NUM_TARGETS
 from repro.core.predictors.base import LearnedPredictor
+from repro.core.predictors.confidence import ConfidenceReport
 
 __all__ = ["DeepPredictor", "DEEP_SIZES"]
 
@@ -49,6 +50,17 @@ class DeepPredictor(LearnedPredictor):
         self.name = f"deep{hidden}"
         self._weights: list[np.ndarray] = []
         self._biases: list[np.ndarray] = []
+        # Lazy weight-perturbation ensemble for confidence (see
+        # _ensemble_weights); rebuilt after every fit.
+        self._ensemble: list[list[np.ndarray]] | None = None
+
+    #: Ensemble members used for the confidence spread.
+    ENSEMBLE_MEMBERS = 5
+    #: Perturbation magnitude, as a fraction of each matrix's weight std.
+    ENSEMBLE_SIGMA = 0.05
+    #: M1-spread at which confidence crosses 0.5 (half the decode
+    #: threshold's decision margin).
+    CONFIDENCE_SCALE = 0.05
 
     # -- forward/backward -------------------------------------------------
 
@@ -66,6 +78,17 @@ class DeepPredictor(LearnedPredictor):
             h = _sigmoid(z) if i == last else np.tanh(z)
             post.append(h)
         return h, pre, post
+
+    def _forward_with(
+        self, x: np.ndarray, weights: list[np.ndarray], biases: list[np.ndarray]
+    ) -> np.ndarray:
+        """Plain forward pass through an arbitrary weight set (no caches)."""
+        h = x
+        last = len(weights) - 1
+        for i, (w, b) in enumerate(zip(weights, biases)):
+            z = h @ w + b
+            h = _sigmoid(z) if i == last else np.tanh(z)
+        return h
 
     def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
         rng = np.random.default_rng(self.seed)
@@ -120,9 +143,53 @@ class DeepPredictor(LearnedPredictor):
                     v_b[i] = beta2 * v_b[i] + (1 - beta2) * grads_b[i] ** 2
                     self._biases[i] -= lr_t * m_b[i] / (np.sqrt(v_b[i]) + eps)
 
+        self._ensemble = None
+
     def _predict(self, features: np.ndarray) -> np.ndarray:
         out, _, _ = self._forward(features)
         return out
+
+    # -- confidence --------------------------------------------------------
+
+    def _ensemble_weights(self) -> list[list[np.ndarray]]:
+        """Deterministic weight-perturbation ensemble around the trained net.
+
+        Each member adds seeded Gaussian noise (``ENSEMBLE_SIGMA`` × that
+        matrix's weight std) to every weight matrix; biases are shared.
+        Where the fitted function is flat, the members agree and the M1
+        spread vanishes; near decision boundaries they disagree.  The
+        ensemble is built lazily once per fit and is a pure side
+        structure: ``_predict`` never touches it.
+        """
+        if self._ensemble is None:
+            rng = np.random.default_rng(self.seed + 1)
+            members: list[list[np.ndarray]] = []
+            for _ in range(self.ENSEMBLE_MEMBERS):
+                members.append(
+                    [
+                        w
+                        + rng.normal(
+                            0.0,
+                            self.ENSEMBLE_SIGMA * (float(w.std()) or 1.0),
+                            size=w.shape,
+                        )
+                        for w in self._weights
+                    ]
+                )
+            self._ensemble = members
+        return self._ensemble
+
+    def _confidence(self, features: np.ndarray) -> ConfidenceReport:
+        """Confidence from the M1 spread across the perturbed ensemble."""
+        outputs = np.stack(
+            [
+                self._forward_with(features, weights, self._biases)[:, 0]
+                for weights in self._ensemble_weights()
+            ]
+        )
+        return ConfidenceReport.from_uncertainty(
+            outputs.std(axis=0), scale=self.CONFIDENCE_SCALE, source="ensemble"
+        )
 
     @property
     def num_parameters(self) -> int:

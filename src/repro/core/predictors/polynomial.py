@@ -15,12 +15,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.predictors.base import LearnedPredictor
+from repro.core.predictors.confidence import ConfidenceReport
 
 __all__ = ["PolynomialPredictor"]
 
 
 class PolynomialPredictor(LearnedPredictor):
     """Ridge regression on a 7th-order polynomial feature expansion."""
+
+    #: M1 residual band at which confidence crosses 0.5.
+    CONFIDENCE_SCALE = 0.25
 
     def __init__(self, order: int = 7, *, ridge: float = 1.0) -> None:
         super().__init__()
@@ -30,6 +34,8 @@ class PolynomialPredictor(LearnedPredictor):
         self.ridge = float(ridge)
         self.name = f"poly{order}" if order != 7 else "multi_regression"
         self._coef: np.ndarray | None = None
+        self._residual_rms = 0.0
+        self._gram_inv: np.ndarray | None = None
 
     def _design(self, features: np.ndarray) -> np.ndarray:
         n, d = features.shape
@@ -48,7 +54,26 @@ class PolynomialPredictor(LearnedPredictor):
         gram = design.T @ design
         gram += self.ridge * np.eye(gram.shape[0])
         self._coef = np.linalg.solve(gram, design.T @ targets)
+        # Residual band + ridge-leverage statistics for confidence; the
+        # regularized gram is positive definite, so pinv is exact.
+        predicted = design @ self._coef
+        self._residual_rms = float(
+            np.sqrt(np.mean((targets[:, 0] - predicted[:, 0]) ** 2))
+        )
+        self._gram_inv = np.linalg.pinv(gram)
 
     def _predict(self, features: np.ndarray) -> np.ndarray:
         assert self._coef is not None
         return self._design(features) @ self._coef
+
+    def _confidence(self, features: np.ndarray) -> ConfidenceReport:
+        """Residual-band confidence over the polynomial design row."""
+        assert self._gram_inv is not None
+        design = self._design(features)
+        leverage = np.einsum("ij,jk,ik->i", design, self._gram_inv, design)
+        uncertainty = self._residual_rms * np.sqrt(
+            1.0 + np.maximum(leverage, 0.0)
+        )
+        return ConfidenceReport.from_uncertainty(
+            uncertainty, scale=self.CONFIDENCE_SCALE, source="residual-band"
+        )

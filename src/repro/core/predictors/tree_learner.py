@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.predictors.base import LearnedPredictor
+from repro.core.predictors.confidence import ConfidenceReport
 
 __all__ = ["CartPredictor"]
 
@@ -26,6 +27,8 @@ class _Node:
     left: "_Node | None" = None
     right: "_Node | None" = None
     value: np.ndarray | None = None  # leaf payload
+    spread: float = 0.0  # leaf M1 std (purity signal)
+    count: int = 0  # leaf training population
 
     @property
     def is_leaf(self) -> bool:
@@ -62,12 +65,19 @@ class CartPredictor(LearnedPredictor):
         self._node_right = np.empty(0, dtype=np.int64)
         self._node_leaf = np.empty(0, dtype=np.int64)
         self._leaf_values = np.empty((0, 0), dtype=np.float64)
+        self._leaf_spread = np.empty(0, dtype=np.float64)
+        self._leaf_count = np.empty(0, dtype=np.int64)
+
+    #: Leaf uncertainty at which confidence crosses 0.5.
+    CONFIDENCE_SCALE = 0.1
+    #: Weight of the small-population term in leaf uncertainty.
+    POPULATION_WEIGHT = 0.5
 
     def _build(
         self, features: np.ndarray, targets: np.ndarray, depth: int
     ) -> _Node:
         if depth >= self.max_depth or features.shape[0] < 2 * self.min_samples:
-            return _Node(value=targets.mean(axis=0))
+            return self._leaf(targets)
         parent_score = targets.var(axis=0).sum() * targets.shape[0]
         best = (None, None, parent_score - 1e-12)
         for feature in range(features.shape[1]):
@@ -89,13 +99,22 @@ class CartPredictor(LearnedPredictor):
                     best = (feature, threshold, score)
         feature, threshold, _ = best
         if feature is None:
-            return _Node(value=targets.mean(axis=0))
+            return self._leaf(targets)
         mask = features[:, feature] <= threshold
         return _Node(
             feature=feature,
             threshold=float(threshold),
             left=self._build(features[mask], targets[mask], depth + 1),
             right=self._build(features[~mask], targets[~mask], depth + 1),
+        )
+
+    @staticmethod
+    def _leaf(targets: np.ndarray) -> _Node:
+        """A leaf with its prediction plus purity/population statistics."""
+        return _Node(
+            value=targets.mean(axis=0),
+            spread=float(targets[:, 0].std()),
+            count=int(targets.shape[0]),
         )
 
     def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
@@ -116,6 +135,8 @@ class CartPredictor(LearnedPredictor):
         right: list[int] = []
         leaf: list[int] = []
         leaf_values: list[np.ndarray] = []
+        leaf_spread: list[float] = []
+        leaf_count: list[int] = []
 
         def visit(node: _Node) -> int:
             index = len(feature)
@@ -129,6 +150,8 @@ class CartPredictor(LearnedPredictor):
                 leaf[index] = len(leaf_values)
                 assert node.value is not None
                 leaf_values.append(node.value)
+                leaf_spread.append(node.spread)
+                leaf_count.append(node.count)
             else:
                 assert node.left is not None and node.right is not None
                 left[index] = visit(node.left)
@@ -143,12 +166,15 @@ class CartPredictor(LearnedPredictor):
         self._node_right = np.asarray(right, dtype=np.int64)
         self._node_leaf = np.asarray(leaf, dtype=np.int64)
         self._leaf_values = np.vstack(leaf_values)
+        self._leaf_spread = np.asarray(leaf_spread, dtype=np.float64)
+        self._leaf_count = np.asarray(leaf_count, dtype=np.int64)
 
-    def _predict(self, features: np.ndarray) -> np.ndarray:
+    def _leaf_rows(self, features: np.ndarray) -> np.ndarray:
         """Vectorized descent: all rows walk the tree in lockstep, one
         gather + comparison per tree level instead of a Python loop per
-        row.  Comparisons and leaf payloads are identical to a node walk,
-        so batched and scalar predictions are bit-identical."""
+        row.  Returns each row's ``_leaf_values`` row index; comparisons
+        are identical to a node walk, so batched and scalar lookups agree
+        bit-for-bit."""
         node = np.zeros(features.shape[0], dtype=np.int64)
         active = np.flatnonzero(self._node_feature[node] >= 0)
         while active.size:
@@ -161,7 +187,27 @@ class CartPredictor(LearnedPredictor):
                 go_left, self._node_left[current], self._node_right[current]
             )
             active = active[self._node_feature[node[active]] >= 0]
-        return self._leaf_values[self._node_leaf[node]]
+        return self._node_leaf[node]
+
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        return self._leaf_values[self._leaf_rows(features)]
+
+    def _confidence(self, features: np.ndarray) -> ConfidenceReport:
+        """Confidence from the landing leaf's purity and population.
+
+        A pure, well-populated leaf (every training row agreed on M1,
+        many of them) is near-certain; a mixed or thin leaf is not.
+        Uncertainty is the leaf's M1 std plus a ``1/population`` term so
+        a unanimous-but-tiny leaf still reads as uncertain.
+        """
+        rows = self._leaf_rows(features)
+        uncertainty = (
+            self._leaf_spread[rows]
+            + self.POPULATION_WEIGHT / np.maximum(self._leaf_count[rows], 1)
+        )
+        return ConfidenceReport.from_uncertainty(
+            uncertainty, scale=self.CONFIDENCE_SCALE, source="leaf-stats"
+        )
 
     def depth(self) -> int:
         """Actual tree depth after fitting (0 for a single leaf)."""

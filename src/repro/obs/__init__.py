@@ -23,7 +23,12 @@ allocations, so instrumentation is free on the bench-gated hot paths.
 
 from __future__ import annotations
 
-from repro.obs.audit import DECISION_FIELDS, DecisionRecord, config_summary
+from repro.obs.audit import (
+    DECISION_FIELDS,
+    DECISION_SCHEMA_VERSION,
+    DecisionRecord,
+    config_summary,
+)
 from repro.obs.config import (
     DEFAULT_JSONL_PATH,
     ENV_VAR,
@@ -33,6 +38,8 @@ from repro.obs.config import (
 )
 from repro.obs.http import ObsHTTPServer, start_exposition
 from repro.obs.quality import (
+    DRIFT_METRIC,
+    MISPICK_METRIC,
     DriftDetector,
     QualitySample,
     RegretTracker,
@@ -51,6 +58,7 @@ from repro.obs.state import (
     prometheus_text,
     quiet,
     record_decision,
+    record_promotion,
     record_span,
     reinit_child,
     reset,
@@ -74,9 +82,12 @@ from repro.obs.tracer import NOOP_SPAN, SpanRecord, Tracer
 
 __all__ = [
     "DECISION_FIELDS",
+    "DECISION_SCHEMA_VERSION",
     "DEFAULT_SERVE_SLOS",
+    "DRIFT_METRIC",
     "DecisionRecord",
     "DriftDetector",
+    "MISPICK_METRIC",
     "config_summary",
     "DEFAULT_JSONL_PATH",
     "ENV_VAR",
@@ -108,6 +119,7 @@ __all__ = [
     "prometheus_text",
     "quiet",
     "record_decision",
+    "record_promotion",
     "record_span",
     "reinit_child",
     "replay_audit",

@@ -20,7 +20,18 @@ from dataclasses import dataclass
 
 from repro.machine.mvars import MachineConfig
 
-__all__ = ["DECISION_FIELDS", "DecisionRecord", "config_summary"]
+__all__ = [
+    "DECISION_FIELDS",
+    "DECISION_SCHEMA_VERSION",
+    "DecisionRecord",
+    "config_summary",
+]
+
+#: Version of the :data:`DECISION_FIELDS` schema.  Version 1 (implicit —
+#: PR 8-era records carry no ``schema_version`` key) ends at
+#: ``trace_id``; version 2 appends the confidence/exploration fields.
+#: Readers treat a missing key as version 1, so one stream can mix eras.
+DECISION_SCHEMA_VERSION = 2
 
 #: Frozen schema of :meth:`DecisionRecord.as_dict`.
 DECISION_FIELDS = (
@@ -42,6 +53,9 @@ DECISION_FIELDS = (
     "costs_ms",
     "observed_time_ms",
     "trace_id",
+    "confidence",
+    "explored",
+    "schema_version",
 )
 
 
@@ -86,6 +100,14 @@ class DecisionRecord:
     observed_time_ms: float | None = None
     #: Request trace the placement executed under, when one was active.
     trace_id: str | None = None
+    #: Calibrated predictor confidence for this row (``None`` when the
+    #: decision layer was not tracking confidence — including every
+    #: pre-v2 record).
+    confidence: float | None = None
+    #: True for exploration probes: simulate-only costings of
+    #: low-confidence rows that never executed.  The regret tracker
+    #: counts these separately and keeps them out of the placement fold.
+    explored: bool = False
 
     @property
     def margin_ms(self) -> float:
@@ -123,4 +145,7 @@ class DecisionRecord:
                 else self.predicted_time_ms
             ),
             "trace_id": self.trace_id,
+            "confidence": self.confidence,
+            "explored": self.explored,
+            "schema_version": DECISION_SCHEMA_VERSION,
         }

@@ -34,7 +34,9 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.slo import SLORegistry
 
 __all__ = [
+    "DRIFT_METRIC",
     "DriftDetector",
+    "MISPICK_METRIC",
     "QualitySample",
     "RegretTracker",
     "replay_audit",
@@ -45,6 +47,11 @@ _TIE_EPS = 1e-12
 
 #: SLO observation stream fed on every sample (1.0 = mispick, 0.0 = not).
 MISPICK_METRIC = "mispick_rate"
+
+#: SLO observation stream fed on every sample (1.0 = the sample tripped
+#: the Page–Hinkley alarm, 0.0 = not), so drift can back an SLO, e.g.
+#: ``repro-serve --slo drift:drift_alarms:0.0:0.99``.
+DRIFT_METRIC = "drift_alarms"
 
 
 class DriftDetector:
@@ -143,10 +150,12 @@ class RegretTracker:
         self.slos = slos
         self.observed = 0
         self.skipped = 0  # records without an estimate vector (pre-PR-8)
+        self.explored = 0  # exploration probes (costed, never executed)
         self._windows: dict[tuple[str, str], deque[tuple[float, float, bool]]] = {}
         self._devices: dict[str, list[int]] = {}  # name -> [placed, mispicks]
         self._drift: dict[str, DriftDetector] = {}
         self._ewma: dict[str, float] = {}
+        self._confidence: dict[str, float] = {}  # per-predictor EWMA
 
     # -- the fold ----------------------------------------------------------
 
@@ -156,8 +165,21 @@ class RegretTracker:
         Records missing the per-device estimate vector (audits written
         before the vector was part of the schema) are counted in
         :attr:`skipped` and otherwise ignored, so replays over mixed
-        streams stay well-defined.
+        streams stay well-defined.  Exploration probes (``explored`` set
+        — absent from pre-v2 records, so old streams are unaffected) are
+        counted in :attr:`explored` and kept out of the placement fold:
+        they were never executed, so folding them would corrupt the
+        regret windows and break online/offline replay exactness.
         """
+        if record.get("explored"):
+            self.explored += 1
+            predictor = str(record.get("predictor", "?"))
+            confidence = record.get("confidence")
+            if confidence is not None:
+                self._fold_confidence(predictor, float(confidence))
+            if self.metrics is not None:
+                self.metrics.inc("quality.explored", predictor=predictor)
+            return None
         devices = record.get("devices") or ()
         costs = record.get("costs_ms") or ()
         chosen = record.get("chosen_accelerator")
@@ -184,6 +206,9 @@ class RegretTracker:
 
         predictor = str(record.get("predictor", "?"))
         benchmark = str(record.get("benchmark", "?"))
+        confidence = record.get("confidence")
+        if confidence is not None:
+            self._fold_confidence(predictor, float(confidence))
         key = (predictor, benchmark)
         window = self._windows.get(key)
         if window is None:
@@ -226,11 +251,30 @@ class RegretTracker:
         self._export(sample, key)
         return sample
 
+    def _fold_confidence(self, predictor: str, confidence: float) -> None:
+        """EWMA of reported decision confidence, per predictor."""
+        previous = self._confidence.get(predictor)
+        self._confidence[predictor] = (
+            confidence
+            if previous is None
+            else (1.0 - self.ewma_alpha) * previous
+            + self.ewma_alpha * confidence
+        )
+        if self.metrics is not None:
+            self.metrics.set_gauge(
+                "quality.confidence",
+                self._confidence[predictor],
+                predictor=predictor,
+            )
+
     # -- side channels (never influence the fold) --------------------------
 
     def _export(self, sample: QualitySample, key: tuple[str, str]) -> None:
         if self.slos is not None:
             self.slos.observe(MISPICK_METRIC, 1.0 if sample.mispick else 0.0)
+            self.slos.observe(
+                DRIFT_METRIC, 1.0 if sample.drift_alarm else 0.0
+            )
         metrics = self.metrics
         if metrics is None:
             return
@@ -245,6 +289,10 @@ class RegretTracker:
             )
         if sample.drift_alarm:
             metrics.inc("quality.drift_alarm", predictor=sample.predictor)
+            # Edge-triggered, label-free twin of the alarm counter: one
+            # monotone series for /metrics dashboards and SLO burn math
+            # (the labeled counter above stays for back-compat).
+            metrics.inc("quality.drift")
         metrics.observe(
             "quality.regret_oracle_ms",
             sample.regret_oracle_ms,
@@ -310,11 +358,15 @@ class RegretTracker:
         return {
             "observed": self.observed,
             "skipped": self.skipped,
+            "explored": self.explored,
             "windows": windows,
             "devices": devices,
             "drift_alarms": self.drift_alarms(),
             "error_ewma": {
                 name: value for name, value in sorted(self._ewma.items())
+            },
+            "confidence_ewma": {
+                name: value for name, value in sorted(self._confidence.items())
             },
         }
 

@@ -49,6 +49,7 @@ __all__ = [
     "gauge",
     "histogram",
     "record_decision",
+    "record_promotion",
     "trace_link",
     "slo_observe",
     "install_slos",
@@ -224,6 +225,29 @@ def record_decision(record: DecisionRecord) -> None:
         _state.sink.emit("decision", payload)
     if _state.quality is not None:
         _state.quality.observe_record(payload)
+
+
+def record_promotion(payload: dict) -> None:
+    """Record one online-adaptation promotion event.
+
+    ``payload`` is the adapter's promotion summary (predictor, old/new
+    generation, shadow regrets, buffer size).  Exported three ways so the
+    event is visible everywhere the quality observatory is: the
+    ``quality.promotions`` counter and ``quality.generation`` gauge on
+    ``/metrics``, and a ``promotion`` event in the JSONL stream for the
+    report CLI.
+    """
+    if not _state.enabled:
+        return
+    predictor = str(payload.get("predictor", "?"))
+    _state.metrics.inc("quality.promotions", predictor=predictor)
+    generation = payload.get("generation")
+    if generation is not None:
+        _state.metrics.set_gauge(
+            "quality.generation", float(generation), predictor=predictor
+        )
+    if _state.sink is not None:
+        _state.sink.emit("promotion", payload)
 
 
 def trace_link(trace_id: str, origin: str) -> None:

@@ -81,6 +81,14 @@ class Decision:
     runner_up_index: int
     vector: np.ndarray  # read-only predicted M target vector
     features: tuple[float, ...]  # the 17 (B, I) inputs, B1..B13 then I1..I4
+    #: Calibrated confidence of the predictor's M1 call for this row
+    #: (``None`` when the decision layer is not tracking confidence —
+    #: the default, which keeps the plain path bit-identical).
+    confidence: float | None = None
+    #: True when the exploration policy flagged this decision as a
+    #: low-confidence probe (costed on every device and audited as an
+    #: exploration record rather than a placement).
+    explored: bool = False
 
     def __post_init__(self) -> None:
         vector = np.array(self.vector, dtype=np.float64, copy=True)

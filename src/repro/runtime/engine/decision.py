@@ -138,6 +138,46 @@ class DecisionService:
         self.cache = cache
         #: Measured predictor inference latency; ``None`` until trained.
         self.overhead_ms: float | None = None
+        #: Predictor generation, bumped by :meth:`swap_predictor` when an
+        #: online-adaptation promotion installs a retrained model.  Part
+        #: of every cache key (via :attr:`predictor_tag`), so a promotion
+        #: atomically invalidates stale entries — including in shard
+        #: workers, whose caches key through the same path.
+        self.generation = 0
+        #: Whether :meth:`choose_encoded` also computes per-row
+        #: confidence (a pure side computation — predicted vectors and
+        #: decoded configs are untouched).  Off by default, so the plain
+        #: serving path pays nothing and stays bit-identical.
+        self.track_confidence = False
+        #: Exploration policy (:class:`repro.core.online.ExplorationPolicy`)
+        #: or ``None``.  When set, low-confidence plan-tier rows are
+        #: probe-costed on every fleet device and audited as exploration
+        #: records; the returned plans never change.
+        self.exploration = None
+        #: Online adapter (:class:`repro.core.online.OnlineAdapter`) or
+        #: ``None``.  :meth:`audit` feeds it every observed outcome,
+        #: independent of whether observability is enabled.
+        self.adapter = None
+
+    @property
+    def predictor_tag(self) -> str:
+        """Cache-key identity of the serving model: name + generation."""
+        return f"{self.predictor_name}#g{self.generation}"
+
+    def swap_predictor(self, predictor: Predictor) -> int:
+        """Install a promoted predictor atomically and return the new gen.
+
+        Bumps :attr:`generation` (so every key the old model computed is
+        unreachable) and clears the local cache for hygiene — correctness
+        rests on the key change alone, which is what keeps forked shard
+        workers safe without any cross-process signal.
+        """
+        self.predictor = predictor
+        self.generation += 1
+        self.clear_cache()
+        if obs.enabled():
+            obs.gauge("quality.generation", float(self.generation))
+        return self.generation
 
     @property
     def gpu(self) -> AcceleratorSpec:
@@ -182,9 +222,55 @@ class DecisionService:
     def plan_batch(
         self, workloads: Sequence[Workload]
     ) -> list[tuple[AcceleratorSpec, MachineConfig]]:
-        """Predict deployments for a batch in one cached forward pass."""
-        entries, _ = self._choose_batch(workloads)
+        """Predict deployments for a batch in one cached forward pass.
+
+        When an exploration policy is attached, low-confidence rows are
+        additionally probe-costed on every fleet device (simulate-only)
+        and recorded in the audit stream; the returned plans themselves
+        are untouched, so exploration never changes what is served.
+        """
+        entries, features = self._choose_batch(workloads)
+        if self.exploration is not None:
+            self._explore_low_confidence(workloads, entries, features)
         return [(entry.spec, entry.config) for entry in entries]
+
+    def _explore_low_confidence(
+        self,
+        workloads: Sequence[Workload],
+        entries: Sequence[CachedDecision],
+        features: np.ndarray,
+    ) -> None:
+        """Spend exploration budget costing uncertain plan-tier rows.
+
+        Each selected row gets the full decide-tier treatment — the
+        predicted vector decoded and model-costed on **every** fleet
+        device — and an ``explored=True`` audit record carrying the
+        counterfactual cost vector.  The quality observatory keeps these
+        out of the placement regret fold; they exist to measure how wrong
+        the low-confidence calls would have been.
+        """
+        policy = self.exploration
+        probe_rows = [
+            index
+            for index, entry in enumerate(entries)
+            if policy.should_explore(entry.confidence)
+        ]
+        if not probe_rows:
+            return
+        probe_entries = [entries[index] for index in probe_rows]
+        configs = self._decode_fleet(probe_entries)
+        for index in probe_rows:
+            entry = entries[index]
+            decision = self._with_estimates(
+                workloads[index],
+                entry,
+                features[index],
+                configs[id(entry)],
+                explored=True,
+            )
+            self._audit_probe(decision)
+        if obs.enabled():
+            obs.counter("quality.exploration_probes", len(probe_rows))
 
     def encode(self, workloads: Sequence[Workload]) -> np.ndarray:
         """The batch's discretized ``(n, 17)`` feature matrix."""
@@ -223,7 +309,11 @@ class DecisionService:
             return self._choose_encoded(features)
 
     def _choose_encoded(self, features: np.ndarray) -> list[CachedDecision]:
-        keys = feature_keys_batch(features, fleet=self.fleet.fingerprint)
+        keys = feature_keys_batch(
+            features,
+            fleet=self.fleet.fingerprint,
+            predictor=self.predictor_tag,
+        )
         # Row-aligned request trace ids (the server's flush scope); used
         # to stamp computed entries with their originating trace and to
         # link each cache hit back to the trace that computed the entry.
@@ -265,13 +355,28 @@ class DecisionService:
                 # batching, and the shard router's bit-identity gate all
                 # rely on.
                 vectors = np.round(vectors, _CANONICAL_DECIMALS)
+            confidence: np.ndarray | None = None
+            if self.track_confidence:
+                # A pure side computation over the same miss rows; the
+                # vectors above are what decode, so decisions are
+                # untouched whether or not confidence is tracked.
+                confidence = self.predictor.confidence_batch(
+                    miss_features
+                ).confidence
             decoded = decode_config_batch(vectors, self.gpu, self.multicore)
-            for row, (spec, config), vector in zip(miss_rows, decoded, vectors):
+            for slot, (row, (spec, config), vector) in enumerate(
+                zip(miss_rows, decoded, vectors)
+            ):
                 entry = CachedDecision(
                     spec=spec,
                     config=config,
                     vector=vector,
                     origin_trace=row_traces[row] if row_traces else None,
+                    confidence=(
+                        float(confidence[slot])
+                        if confidence is not None
+                        else None
+                    ),
                 )
                 decided[keys[row]] = entry
                 if cache is not None:
@@ -345,6 +450,8 @@ class DecisionService:
         entry: CachedDecision,
         features: np.ndarray,
         configs: tuple[MachineConfig, ...],
+        *,
+        explored: bool = False,
     ) -> Decision:
         estimates = tuple(
             DeviceEstimate(
@@ -367,6 +474,8 @@ class DecisionService:
             runner_up_index=runner_up_index,
             vector=entry.vector,
             features=tuple(float(f) for f in features),
+            confidence=entry.confidence,
+            explored=explored,
         )
 
     # -- auditing -----------------------------------------------------------
@@ -390,7 +499,16 @@ class DecisionService:
         per-device cost vector (the regret counterfactual), the executed
         time as ``observed_time_ms``, and the active request trace id
         when the placement ran under one.
+
+        Call sites invoke this unconditionally: the attached online
+        adapter (when any) observes every outcome even with observability
+        off, and the obs record is only emitted when observability is on
+        — with neither, the call is a pair of cheap branches.
         """
+        if self.adapter is not None:
+            self.adapter.observe(decision, spec, result)
+        if not obs.enabled():
+            return
         runner_up = decision.runner_up_excluding(spec.name, self.metric)
         trace = obs.current_trace()
         obs.record_decision(
@@ -411,5 +529,44 @@ class DecisionService:
                 costs_ms=decision.costs_ms,
                 observed_time_ms=result.time_ms,
                 trace_id=trace.trace_id if trace is not None else None,
+                confidence=decision.confidence,
+                explored=decision.explored,
+            )
+        )
+
+    def _audit_probe(self, decision: Decision) -> None:
+        """Record one exploration probe in the audit stream.
+
+        Probes never execute, so there is no observed time; the record
+        carries the full simulate-only cost vector and ``explored=True``
+        so the quality observatory counts it separately from placements.
+        """
+        if not obs.enabled():
+            return
+        chosen = decision.chosen
+        runner_up = decision.estimates[decision.runner_up_index]
+        trace = obs.current_trace()
+        obs.record_decision(
+            obs.DecisionRecord(
+                benchmark=decision.workload.benchmark,
+                dataset=decision.workload.dataset,
+                predictor=self.predictor_name,
+                metric=self.metric,
+                features=decision.features,
+                chosen_accelerator=chosen.spec.name,
+                config=obs.config_summary(
+                    chosen.config, is_gpu=chosen.spec.is_gpu
+                ),
+                predicted_time_ms=chosen.time_ms,
+                predicted_energy_j=chosen.energy_j,
+                predicted_utilization=chosen.result.utilization,
+                runner_up_accelerator=runner_up.spec.name,
+                runner_up_time_ms=runner_up.time_ms,
+                devices=tuple(e.spec.name for e in decision.estimates),
+                costs_ms=decision.costs_ms,
+                observed_time_ms=None,
+                trace_id=trace.trace_id if trace is not None else None,
+                confidence=decision.confidence,
+                explored=True,
             )
         )

@@ -109,9 +109,15 @@ class Engine:
         """Run one placement under its request trace (if any) and audit it."""
         deployed = placement.deployed
         if not obs.enabled():
-            return self.backend.execute(
+            result = self.backend.execute(
                 placement.decision.workload, deployed.spec, deployed.config
             )
+            # audit() is a cheap no-op without obs *or* adapter, and the
+            # attached online adapter must observe every outcome.
+            self.decisions.audit(
+                placement.decision, deployed.spec, deployed.config, result
+            )
+            return result
         context = (
             contexts[placement.order]
             if placement.order < len(contexts)

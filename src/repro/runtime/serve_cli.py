@@ -14,6 +14,15 @@ each training its own HeteroMap and serving consistent-hash-routed flush
 blocks (plan mode only).  The artifact then carries one ``shard`` line
 per worker with its cache hit rate and per-device plan counts.
 
+With ``--adapt`` (run mode) the served map closes the online-adaptation
+loop: executed outcomes feed per-device correction ratios and a
+retraining buffer, Page–Hinkley drift alarms trigger shadow retrains,
+and a candidate that beats the incumbent's windowed regret is promoted
+live (generation-bumped cache keys make the swap atomic).
+``--drift-inject FACTOR@FRACTION`` perturbs one device kind mid-trace to
+exercise exactly that loop; ``--exploration-rate`` additionally probes
+low-confidence rows with simulate-only costings in the audit stream.
+
 Examples::
 
     repro-serve --rate 120000 --duration 2
@@ -21,6 +30,7 @@ Examples::
     repro-serve --rate 50000 --gate-min-rate 20000 --gate-p99-ms 250 \\
         --output serve_latency.jsonl
     repro-serve --shards 4 --rate 100000 --duration 2
+    repro-serve --mode run --adapt --drift-inject 4.0@0.3 --rate 2000
 """
 
 from __future__ import annotations
@@ -44,6 +54,12 @@ from repro.runtime.loadgen import (
     onoff_arrivals,
     poisson_arrivals,
     run_open_loop,
+)
+from repro.core.online import (
+    AdaptationConfig,
+    DriftInjectedBackend,
+    ExplorationConfig,
+    OnlineAdapter,
 )
 from repro.runtime.server import DecisionServer, ServerConfig, low_latency_gc
 from repro.runtime.shard import RouterConfig, ShardReport, ShardRouter, ShardSpec
@@ -77,12 +93,42 @@ def _histogram_line(kind: str, samples: list[float]) -> dict:
     }
 
 
+def _parse_drift_inject(text: str) -> tuple[float, float, str]:
+    """Parse ``FACTOR@FRACTION[@KIND]`` (e.g. ``4.0@0.3@multicore``)."""
+    parts = text.split("@")
+    if len(parts) not in (2, 3):
+        raise ValueError(
+            "--drift-inject wants FACTOR@FRACTION[@KIND] "
+            f"(e.g. 4.0@0.3@multicore), got {text!r}"
+        )
+    try:
+        factor = float(parts[0])
+        fraction = float(parts[1])
+    except ValueError:
+        raise ValueError(
+            f"--drift-inject wants numeric FACTOR@FRACTION, got {text!r}"
+        ) from None
+    kind = parts[2] if len(parts) == 3 else "gpu"
+    if factor <= 0.0:
+        raise ValueError(f"--drift-inject factor must be > 0, got {factor}")
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(
+            f"--drift-inject fraction must be in [0, 1), got {fraction}"
+        )
+    if kind not in ("gpu", "multicore"):
+        raise ValueError(
+            f"--drift-inject kind must be gpu or multicore, got {kind!r}"
+        )
+    return factor, fraction, kind
+
+
 def _write_artifact(
     path: Path,
     report: OpenLoopReport,
     server: "DecisionServer | ShardRouter",
     args,
     shard_report: ShardReport | None = None,
+    adapter: OnlineAdapter | None = None,
 ) -> None:
     lines = [
         {
@@ -140,6 +186,8 @@ def _write_artifact(
                 "device_counts": shard_report.device_counts,
             }
         )
+    if adapter is not None:
+        lines.append({"kind": "adaptation", **adapter.summary()})
     if obs.enabled():
         state = obs.state()
         if state.quality is not None:
@@ -219,6 +267,27 @@ def main(argv: list[str] | None = None) -> int:
         "process)",
     )
     parser.add_argument(
+        "--adapt", action="store_true",
+        help="close the online-adaptation loop (requires --mode run): "
+        "observe outcomes, retrain on drift, shadow-score, promote",
+    )
+    parser.add_argument(
+        "--exploration-rate", type=float, default=None, metavar="EPS",
+        help="probe low-confidence rows with this epsilon (simulate-only "
+        "costings recorded in the audit stream; decisions unchanged)",
+    )
+    parser.add_argument(
+        "--confidence-threshold", type=float, default=0.6, metavar="C",
+        help="rows at or above this confidence are never probed "
+        "(default: 0.6)",
+    )
+    parser.add_argument(
+        "--drift-inject", default=None, metavar="FACTOR@FRACTION[@KIND]",
+        help="scale one device kind's executed times by FACTOR after "
+        "FRACTION of the trace (requires --mode run; kind gpu|multicore, "
+        "default gpu; e.g. 4.0@0.3@multicore)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0,
         help="seed for training and the arrival trace (default: 0)",
     )
@@ -277,6 +346,20 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--shards must be >= 0")
     if args.shards and args.mode != "plan":
         parser.error("--shards only supports --mode plan")
+    if args.adapt and args.mode != "run":
+        parser.error("--adapt requires --mode run (outcomes must execute)")
+    if args.adapt and args.shards:
+        parser.error("--adapt is incompatible with --shards")
+    if args.drift_inject is not None and args.mode != "run":
+        parser.error("--drift-inject requires --mode run")
+    if args.exploration_rate is not None and args.shards:
+        parser.error("--exploration-rate is incompatible with --shards")
+    drift_spec: tuple[float, float, str] | None = None
+    if args.drift_inject is not None:
+        try:
+            drift_spec = _parse_drift_inject(args.drift_inject)
+        except ValueError as error:
+            parser.error(str(error))
 
     pool = [prepare_workload(b, d) for b, d in DEFAULT_POOL]
 
@@ -291,6 +374,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
         )
     shard_report: ShardReport | None = None
+    adapter: OnlineAdapter | None = None
     if args.shards:
         # Sharded path: training happens inside every worker (same
         # spec + seed, so decisions stay bit-identical across shards
@@ -319,6 +403,31 @@ def main(argv: list[str] | None = None) -> int:
         )
         with obs.span("serve.train", predictor=args.predictor):
             hetero.train(num_samples=args.train_samples, seed=args.seed)
+        backend = hetero.engine.backend
+        if drift_spec is not None:
+            factor, fraction, kind = drift_spec
+            backend = DriftInjectedBackend(
+                backend,
+                factor=factor,
+                start_after=int(fraction * len(arrivals)),
+                kind=kind,
+            )
+            hetero.engine.backend = backend
+            log.info(
+                "drift_inject",
+                factor=factor,
+                start_after=backend.start_after,
+                kind=backend.kind,
+            )
+        if args.exploration_rate is not None:
+            hetero.enable_exploration(
+                ExplorationConfig(
+                    rate=args.exploration_rate,
+                    confidence_threshold=args.confidence_threshold,
+                )
+            )
+        if args.adapt:
+            adapter = hetero.enable_adaptation(AdaptationConfig())
         server = DecisionServer(
             hetero.decisions,
             ServerConfig(
@@ -327,7 +436,7 @@ def main(argv: list[str] | None = None) -> int:
                 queue_capacity=args.queue_capacity,
                 mode=args.mode,
             ),
-            backend=hetero.engine.backend,
+            backend=backend,
             scheduler=hetero.scheduler,
         )
     tenants = [f"tenant-{i}" for i in range(max(1, args.tenants))]
@@ -363,9 +472,21 @@ def main(argv: list[str] | None = None) -> int:
         mean_batch=round(report.mean_batch, 1),
         flushes=report.flushes,
     )
+    if adapter is not None:
+        summary = adapter.summary()
+        log.info(
+            "adaptation",
+            observations=summary["observations"],
+            drift_alarms=summary["drift_alarms"],
+            retrains=summary["retrains"],
+            shadow_evaluations=summary["shadow_evaluations"],
+            promotions=summary["promotions"],
+            discards=summary["discards"],
+            generation=summary["generation"],
+        )
     if args.output:
         path = Path(args.output)
-        _write_artifact(path, report, server, args, shard_report)
+        _write_artifact(path, report, server, args, shard_report, adapter)
         log.info("artifact", path=str(path))
 
     failed = []

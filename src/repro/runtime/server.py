@@ -574,6 +574,11 @@ class DecisionServer:
                         deployed.spec,
                         deployed.config,
                     )
+                    # Without obs, audit() only feeds the online adapter
+                    # (when one is attached) and returns.
+                    self.decisions.audit(
+                        placement.decision, deployed.spec, deployed.config, result
+                    )
             outcomes[placement.order] = RunOutcome.from_execution(
                 placement.decision.workload,
                 deployed.spec,

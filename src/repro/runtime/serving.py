@@ -74,7 +74,10 @@ def capacity_from_env(default: int = DEFAULT_CAPACITY) -> int:
 
 
 def feature_key(
-    features: np.ndarray, *, fleet: str | None = None
+    features: np.ndarray,
+    *,
+    fleet: str | None = None,
+    predictor: str | None = None,
 ) -> tuple[float | str, ...]:
     """Canonical cache key for one 17-element feature row.
 
@@ -88,18 +91,30 @@ def feature_key(
     exact relative to the device set they were decoded for, so a cache
     shared across two differently configured fleets must never serve one
     fleet's placement to the other.
+
+    ``predictor`` namespaces the key with a predictor identity tag
+    (name plus generation, e.g. ``"cart#g2"``): a cached vector is only
+    exact relative to the model that predicted it, so a cache consulted
+    across two predictors — or across an online-adaptation promotion,
+    which bumps the generation — must never serve one model's decision
+    as the other's.
     """
     if isinstance(features, np.ndarray):
         key = tuple(features.tolist())
     else:
         key = tuple(float(value) for value in features)
-    if fleet is None:
-        return key
-    return (fleet, *key)
+    if predictor is not None:
+        key = (predictor, *key)
+    if fleet is not None:
+        key = (fleet, *key)
+    return key
 
 
 def feature_keys_batch(
-    features: np.ndarray, *, fleet: str | None = None
+    features: np.ndarray,
+    *,
+    fleet: str | None = None,
+    predictor: str | None = None,
 ) -> list[tuple[float | str, ...]]:
     """Cache keys for a whole ``(n, 17)`` feature matrix at once.
 
@@ -107,16 +122,23 @@ def feature_keys_batch(
     pass, which is measurably cheaper than calling :func:`feature_key` on
     ``n`` row views — this is the per-request key cost on the serving hot
     path, so the batch form is what the decision layer and the async
-    server use.  ``fleet`` namespaces every key exactly as in
-    :func:`feature_key`.
+    server use.  ``fleet`` and ``predictor`` namespace every key exactly
+    as in :func:`feature_key`.
     """
     if isinstance(features, np.ndarray):
         rows = features.tolist()
     else:
         rows = [list(row) for row in features]
-    if fleet is None:
+    if predictor is None and fleet is None:
         return [tuple(row) for row in rows]
-    return [(fleet, *row) for row in rows]
+    prefix: tuple[str, ...]
+    if fleet is not None and predictor is not None:
+        prefix = (fleet, predictor)
+    elif fleet is not None:
+        prefix = (fleet,)
+    else:
+        prefix = (predictor,)  # type: ignore[assignment]
+    return [(*prefix, *row) for row in rows]
 
 
 @dataclass(frozen=True)
@@ -130,6 +152,11 @@ class CachedDecision:
     #: outside a traced request).  Cache hits link back to it, so a
     #: served decision's provenance survives the memoization.
     origin_trace: str | None = field(default=None, compare=False)
+    #: Calibrated per-row confidence at compute time (``None`` when the
+    #: serving layer is not tracking confidence).  Confidence is a pure
+    #: function of the feature row for a fixed predictor generation, so
+    #: memoizing it alongside the vector is exact.
+    confidence: float | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         vector = np.array(self.vector, dtype=np.float64, copy=True)

@@ -1,0 +1,140 @@
+"""Per-family confidence reports and the shared squash normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import NUM_FEATURES, NUM_TARGETS
+from repro.core.predictors import make_predictor
+from repro.core.predictors.base import LearnedPredictor
+from repro.core.predictors.confidence import ConfidenceReport, squash_uncertainty
+from repro.machine.specs import DEFAULT_PAIR, get_accelerator
+
+GPU, PHI = (get_accelerator(name) for name in DEFAULT_PAIR)
+
+#: family -> the source string its confidence report must declare.
+FAMILY_SOURCES = {
+    "decision_tree": "exact",
+    "linear": "residual-band",
+    "multi_regression": "residual-band",
+    "adaptive_library": "table-coverage",
+    "cart": "leaf-stats",
+    "deep16": "ensemble",
+}
+
+
+def _trained(family: str, *, rows: int = 24, seed: int = 3):
+    predictor = make_predictor(family, GPU, PHI, seed=seed)
+    if isinstance(predictor, LearnedPredictor):
+        rng = np.random.default_rng(seed)
+        predictor.fit(
+            rng.random((rows, NUM_FEATURES)), rng.random((rows, NUM_TARGETS))
+        )
+    return predictor
+
+
+def _probes(count: int = 6, seed: int = 11) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.round(rng.integers(0, 11, size=(count, NUM_FEATURES)) / 10.0, 1)
+
+
+class TestSquash:
+    def test_anchor_points(self):
+        squashed = squash_uncertainty(np.array([0.0, 0.25, 1e9]), 0.25)
+        assert squashed[0] == 1.0
+        assert squashed[1] == pytest.approx(0.5)
+        assert squashed[2] == pytest.approx(0.0, abs=1e-6)
+
+    def test_strictly_decreasing(self):
+        u = np.linspace(0.0, 3.0, 50)
+        squashed = squash_uncertainty(u, 0.1)
+        assert np.all(np.diff(squashed) < 0.0)
+
+    def test_negative_uncertainty_clamped(self):
+        assert squash_uncertainty(np.array([-1.0]), 0.5)[0] == 1.0
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError):
+            squash_uncertainty(np.zeros(1), 0.0)
+
+
+class TestConfidenceReport:
+    def test_arrays_read_only(self):
+        report = ConfidenceReport.exact(3)
+        with pytest.raises(ValueError):
+            report.confidence[0] = 0.0
+        with pytest.raises(ValueError):
+            report.uncertainty[0] = 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ConfidenceReport(confidence=np.ones(2), uncertainty=np.zeros(3))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ConfidenceReport(
+                confidence=np.array([1.5]), uncertainty=np.zeros(1)
+            )
+
+    def test_exact_and_uncalibrated_constructors(self):
+        exact = ConfidenceReport.exact(4)
+        assert len(exact) == 4
+        assert exact.source == "exact"
+        assert np.all(exact.confidence == 1.0)
+        flat = ConfidenceReport.uncalibrated(2)
+        assert flat.source == "uncalibrated"
+        assert np.all(flat.confidence == 0.5)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", sorted(FAMILY_SOURCES))
+    def test_source_and_range(self, family):
+        predictor = _trained(family)
+        report = predictor.confidence_batch(_probes())
+        assert report.source == FAMILY_SOURCES[family]
+        assert len(report) == 6
+        assert report.confidence.min() >= 0.0
+        assert report.confidence.max() <= 1.0
+        assert report.uncertainty.min() >= 0.0
+
+    @pytest.mark.parametrize("family", sorted(FAMILY_SOURCES))
+    def test_with_confidence_is_pure(self, family):
+        """Requesting confidence never perturbs the predicted vectors."""
+        predictor = _trained(family)
+        probes = _probes()
+        plain = predictor.predict_batch(probes)
+        vectors, report = predictor.predict_with_confidence(probes)
+        assert np.array_equal(plain, vectors)
+        assert np.array_equal(
+            report.confidence, predictor.confidence_batch(probes).confidence
+        )
+
+    def test_analytical_is_exact(self):
+        report = _trained("decision_tree").confidence_batch(_probes())
+        assert np.all(report.confidence == 1.0)
+        assert np.all(report.uncertainty == 0.0)
+
+    def test_adaptive_exact_on_seen_rows(self):
+        """Coverage distance is zero exactly on the training rows."""
+        predictor = make_predictor("adaptive_library", GPU, PHI, seed=0)
+        rng = np.random.default_rng(7)
+        features = np.round(
+            rng.integers(0, 11, size=(12, NUM_FEATURES)) / 10.0, 1
+        )
+        predictor.fit(features, rng.random((12, NUM_TARGETS)))
+        seen = predictor.confidence_batch(features)
+        assert np.all(seen.confidence == 1.0)
+
+    def test_ensemble_spread_lowers_confidence(self):
+        """A deep net's held-out rows are less certain than a constant fit."""
+        rng = np.random.default_rng(5)
+        features = rng.random((24, NUM_FEATURES))
+        constant = make_predictor("deep16", GPU, PHI, seed=1)
+        constant.fit(features, np.full((24, NUM_TARGETS), 0.5))
+        noisy = make_predictor("deep16", GPU, PHI, seed=1)
+        noisy.fit(features, rng.random((24, NUM_TARGETS)))
+        probes = _probes()
+        calm = constant.confidence_batch(probes).uncertainty.mean()
+        spread = noisy.confidence_batch(probes).uncertainty.mean()
+        assert spread >= calm

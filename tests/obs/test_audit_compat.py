@@ -1,0 +1,125 @@
+"""Audit-stream schema versioning and cross-era replay compatibility.
+
+Version 1 (implicit — PR 8-era lines carry no ``schema_version`` key)
+ends at ``trace_id``; version 2 appends ``confidence``, ``explored``,
+and ``schema_version``.  One stream can mix eras: readers treat a
+missing key as version 1 and fold both through the same tracker.
+"""
+
+from __future__ import annotations
+
+import json
+
+import repro.obs as obs
+from repro.obs.audit import DECISION_FIELDS, DECISION_SCHEMA_VERSION
+from repro.obs.quality import RegretTracker, replay_audit
+
+#: The exact v1 field set: everything before the v2 confidence columns.
+V1_FIELDS = DECISION_FIELDS[: DECISION_FIELDS.index("confidence")]
+
+
+def _v2_record(**overrides) -> dict:
+    base = dict(
+        benchmark="pagerank",
+        dataset="usa-cal",
+        predictor="deep128",
+        metric="time",
+        features=tuple(0.1 * i for i in range(17)),
+        chosen_accelerator="gpu0",
+        config="gpu(g=262144,l=256)",
+        predicted_time_ms=10.0,
+        predicted_energy_j=2.0,
+        predicted_utilization=0.8,
+        runner_up_accelerator="mc0",
+        runner_up_time_ms=15.0,
+        devices=("gpu0", "mc0"),
+        costs_ms=(10.0, 15.0),
+        observed_time_ms=10.5,
+    )
+    base.update(overrides)
+    payload = obs.DecisionRecord(**base).as_dict()
+    payload["kind"] = "decision"
+    return payload
+
+
+def _v1_record(**overrides) -> dict:
+    """A PR 8-era line: the v2 payload with the new columns stripped."""
+    payload = _v2_record(**overrides)
+    for field in ("confidence", "explored", "schema_version"):
+        del payload[field]
+    return payload
+
+
+class TestSchemaVersion:
+    def test_version_two_appends_after_trace_id(self):
+        assert DECISION_SCHEMA_VERSION == 2
+        assert DECISION_FIELDS[-3:] == ("confidence", "explored", "schema_version")
+        assert V1_FIELDS[-1] == "trace_id"
+
+    def test_as_dict_stamps_current_version(self):
+        assert _v2_record()["schema_version"] == DECISION_SCHEMA_VERSION
+
+    def test_v2_roundtrips_through_json(self):
+        payload = json.loads(json.dumps(_v2_record(confidence=0.7)))
+        assert payload["schema_version"] == DECISION_SCHEMA_VERSION
+        assert payload["confidence"] == 0.7
+        assert payload["explored"] is False
+
+    def test_v1_lines_have_no_version_key(self):
+        line = _v1_record()
+        assert "schema_version" not in line
+        assert set(V1_FIELDS) <= set(line)
+
+
+class TestCrossEraReplay:
+    def test_replay_reads_v1_lines(self):
+        tracker = replay_audit([_v1_record() for _ in range(5)])
+        assert tracker.observed == 5
+        assert tracker.skipped == 0
+        assert tracker.explored == 0
+
+    def test_replay_reads_mixed_stream(self):
+        """v1 and v2 lines interleaved in one stream fold identically."""
+        events = []
+        for i in range(60):
+            make = _v1_record if i % 2 == 0 else _v2_record
+            events.append(
+                make(
+                    chosen_accelerator="gpu0" if i % 3 else "mc0",
+                    costs_ms=(10.0, 15.0) if i % 3 else (15.0, 10.0),
+                )
+            )
+        tracker = replay_audit(events)
+        assert tracker.observed == 60
+        assert tracker.skipped == 0
+        # The same decisions emitted all-v2 give the same placement fold.
+        all_v2 = [
+            _v2_record(
+                chosen_accelerator="gpu0" if i % 3 else "mc0",
+                costs_ms=(10.0, 15.0) if i % 3 else (15.0, 10.0),
+            )
+            for i in range(60)
+        ]
+        summary = replay_audit(all_v2).summary()
+        mixed = tracker.summary()
+        assert mixed["windows"] == summary["windows"]
+        assert mixed["devices"] == summary["devices"]
+
+    def test_v2_probe_lines_stay_out_of_the_placement_fold(self):
+        events = [_v2_record() for _ in range(4)]
+        events += [_v2_record(explored=True, confidence=0.3) for _ in range(3)]
+        tracker = replay_audit(events)
+        assert tracker.observed == 4
+        assert tracker.explored == 3
+
+    def test_v1_jsonl_file_replays(self, tmp_path):
+        """A PR 8-era file on disk reads back through today's replay."""
+        path = tmp_path / "audit_v1.jsonl"
+        events = [_v1_record() for _ in range(8)]
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        loaded = [json.loads(line) for line in path.read_text().splitlines()]
+        online = RegretTracker()
+        for event in loaded:
+            online.observe_record(event)
+        assert replay_audit(loaded).summary() == online.summary()
+        assert online.observed == 8

@@ -375,3 +375,72 @@ class TestRunMany:
             assert "serve_cache_hit" in snapshot
         finally:
             obs.configure(ObsConfig(enabled=False))
+
+
+class TestPredictorCacheIsolation:
+    """Regression: one DecisionCache consulted for two predictors — or
+    across an online-adaptation promotion — must never serve one model's
+    decision as the other's.
+
+    Cache keys carry the predictor tag (name + generation), so two
+    models seeing the same discretized feature row occupy distinct
+    entries, and a promotion's generation bump makes every key the old
+    model computed unreachable — in forked shard workers too, where no
+    cross-process clear() ever runs."""
+
+    @pytest.fixture(scope="class")
+    def shared_predictors(self):
+        shared = DecisionCache(capacity=64)
+        a = HeteroMap.with_default_pair(predictor="deep16", seed=5)
+        b = HeteroMap.with_default_pair(predictor="deep32", seed=5)
+        a.train(num_samples=30, seed=5)
+        b.train(num_samples=30, seed=5)
+        a.decisions.cache = shared
+        b.decisions.cache = shared
+        return shared, a, b
+
+    def test_tag_namespaces_keys(self):
+        row = np.array([0.1, 0.2, 0.3])
+        assert feature_key(row, predictor="deep16#g0") != feature_key(
+            row, predictor="deep32#g0"
+        )
+        assert feature_key(row, predictor="deep16#g0") != feature_key(
+            row, predictor="deep16#g1"
+        )
+        assert feature_key(row, predictor="deep16#g0") != feature_key(row)
+
+    def test_interleaved_predictors_stay_isolated(self, shared_predictors):
+        shared, a, b = shared_predictors
+        shared.clear()
+        before = shared.stats.misses
+        for _ in range(2):  # interleaved request streams
+            plans_a = a.plan_batch(ITEMS)
+            plans_b = b.plan_batch(ITEMS)
+        # Identical feature rows, same fleet — yet model b's first pass
+        # was all MISSES, not hits on model a's entries.
+        first_pass = (shared.stats.misses - before) // 2
+        assert shared.stats.misses - before == 2 * first_pass
+        assert len(shared) == 2 * first_pass
+        # And each stream's decisions match a private-cache twin.
+        isolated = HeteroMap.with_default_pair(predictor="deep32", seed=5)
+        isolated.train(num_samples=30, seed=5)
+        for (spec_a, config_a), (spec_b, config_b) in zip(
+            plans_b, isolated.plan_batch(ITEMS)
+        ):
+            assert spec_a.name == spec_b.name
+            assert config_a == config_b
+        assert plans_a is not None  # both streams exercised
+
+    def test_promotion_generation_invalidates_keys(self, shared_predictors):
+        shared, a, _ = shared_predictors
+        shared.clear()
+        a.plan_batch(ITEMS)
+        hits_before = shared.stats.hits
+        a.plan_batch(ITEMS)  # same generation: warm hits
+        assert shared.stats.hits > hits_before
+        old_tag = a.decisions.predictor_tag
+        a.decisions.swap_predictor(a.decisions.predictor)
+        assert a.decisions.predictor_tag != old_tag
+        misses_before = shared.stats.misses
+        a.plan_batch(ITEMS)  # new generation: every key is fresh
+        assert shared.stats.misses > misses_before

@@ -26,7 +26,7 @@ class TestFuzzLoop:
     def test_tiers_are_ordered(self):
         assert TIERS["quick"][0] < TIERS["deep"][0]
         assert TIERS["quick"][1] < TIERS["deep"][1]
-        assert set(COMPONENTS) == {"kernels", "oracle", "fleet"}
+        assert set(COMPONENTS) == {"kernels", "oracle", "fleet", "calibration"}
 
 
 class TestCli:
